@@ -1,0 +1,55 @@
+"""Shared benchmark configuration.
+
+Every ``test_figXX_*`` module regenerates one table or figure of the
+paper, prints the rows, saves them under ``benchmarks/reports/`` and
+asserts the paper's qualitative shape.  The ``BENCH`` protocol keeps
+the paper's sample size (2,000) and data files but uses 300 queries
+per file instead of 1,000 — enough for stable MREs at a fraction of
+the runtime.  Set ``REPRO_FULL_PROTOCOL=1`` to run the paper's exact
+1,000-query protocol.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.harness import PAPER_BAR_DATASETS, ExperimentConfig
+from repro.experiments.reporting import FigureResult
+
+_FULL = os.environ.get("REPRO_FULL_PROTOCOL", "") == "1"
+
+#: Benchmark protocol: paper datasets and sample size, reduced queries.
+BENCH = ExperimentConfig(
+    n_queries=1_000 if _FULL else 300,
+    datasets=PAPER_BAR_DATASETS,
+)
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture()
+def save_report():
+    """Print a figure result and persist it under benchmarks/reports/."""
+
+    def _save(result: FigureResult) -> FigureResult:
+        REPORT_DIR.mkdir(exist_ok=True)
+        text = result.render()
+        print()
+        print(text)
+        (REPORT_DIR / f"{result.figure_id}.txt").write_text(text)
+        (REPORT_DIR / f"{result.figure_id}.csv").write_text(result.to_csv())
+        return result
+
+    return _save
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The experiments are deterministic, so repeated rounds only repeat
+    identical work; one timed round keeps the full harness run fast.
+    """
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,46 @@
+"""Ablation: number of shifts of the average shifted histogram.
+
+The paper runs the ASH with ten shifts.  This bench sweeps the shift
+count: going from 1 (a plain histogram) to a handful of shifts should
+buy most of the improvement, with ten about saturated.
+"""
+
+import numpy as np
+from conftest import BENCH, run_once
+
+from repro.bandwidth.normal_scale import histogram_bin_count
+from repro.core.histogram import AverageShiftedHistogram
+from repro.experiments.harness import load_context
+from repro.experiments.reporting import make_result
+from repro.workload.metrics import mean_relative_error
+
+DATASET = "n(20)"
+SHIFTS = (1, 2, 3, 5, 10, 20)
+
+
+def _run():
+    context = load_context(DATASET, BENCH)
+    sample, domain, queries = context.sample, context.relation.domain, context.queries
+    bins = histogram_bin_count(sample, domain)
+    rows = []
+    for shifts in SHIFTS:
+        ash = AverageShiftedHistogram(sample, domain, bins, shifts=shifts)
+        rows.append(
+            {"shifts": shifts, "MRE": mean_relative_error(ash, queries)}
+        )
+    return make_result(
+        "ablation-ash-shifts",
+        f"ASH shift count on {DATASET} (NS bin count = per-histogram bins)",
+        rows,
+        notes="expected: most of the gain by ~5 shifts; 10 (paper) saturated",
+    )
+
+
+def test_ablation_ash_shifts(benchmark, save_report):
+    result = run_once(benchmark, _run)
+    save_report(result)
+    errors = {int(r["shifts"]): float(r["MRE"]) for r in result.rows}
+    # More shifts help versus the plain histogram...
+    assert errors[10] < errors[1]
+    # ...and the effect saturates: 20 shifts buy almost nothing over 10.
+    assert abs(errors[20] - errors[10]) < 0.02

@@ -1,0 +1,58 @@
+"""Ablation: the hybrid's change-point budget.
+
+DESIGN.md calls out the change-point count and the merge threshold as
+the hybrid's key knobs.  On change-point-rich spatial data more change
+points must help (up to saturation); with zero change points the
+hybrid degenerates to a single kernel estimator.
+"""
+
+import numpy as np
+from conftest import BENCH, run_once
+
+from repro.bandwidth.plugin import plugin_bandwidth
+from repro.core.hybrid import HybridEstimator
+from repro.experiments.harness import load_context
+from repro.experiments.reporting import make_result
+from repro.workload.metrics import mean_relative_error
+
+DATASET = "rr1(22)"
+BUDGETS = (0, 2, 5, 10, 20)
+
+
+def _run():
+    context = load_context(DATASET, BENCH)
+    sample, domain, queries = context.sample, context.relation.domain, context.queries
+    rows = []
+    for budget in BUDGETS:
+        estimator = HybridEstimator(
+            sample,
+            domain,
+            max_changepoints=budget,
+            min_bin_fraction=0.015,
+            changepoint_kwargs={"min_separation": 0.012},
+            bandwidth_rule=lambda s: plugin_bandwidth(s, steps=2),
+        )
+        rows.append(
+            {
+                "max change points": budget,
+                "bins used": len(estimator.bins),
+                "MRE": mean_relative_error(estimator, queries),
+            }
+        )
+    return make_result(
+        "ablation-hybrid-changepoints",
+        f"Hybrid change-point budget on {DATASET}",
+        notes="expected: more change points help on corridor-structured data",
+        rows=rows,
+    )
+
+
+def test_ablation_hybrid_changepoints(benchmark, save_report):
+    result = run_once(benchmark, _run)
+    save_report(result)
+    errors = {int(r["max change points"]): float(r["MRE"]) for r in result.rows}
+    # A generous change-point budget clearly beats none.
+    assert errors[20] < 0.8 * errors[0]
+    # The trend is broadly monotone: the best budget is not 0 or 2.
+    best = min(errors, key=errors.get)
+    assert best >= 5

@@ -1,0 +1,76 @@
+"""Ablation: robust scale ``min(sd, IQR/1.348)`` vs. plain ``sd``.
+
+The paper (§4.1) chooses the minimum because the plain standard
+deviation was observed to oversmooth.  This bench quantifies the
+choice: on the structured real files the plain-sd rule must never be
+meaningfully better, and somewhere it should be clearly worse.
+"""
+
+import numpy as np
+from conftest import BENCH, run_once
+
+from repro.bandwidth.amise import normal_roughness, optimal_bandwidth
+from repro.core.kernel import make_kernel_estimator
+from repro.experiments.harness import load_context
+from repro.experiments.reporting import make_result
+from repro.workload.metrics import mean_relative_error
+
+DATASETS = ("n(20)", "e(20)", "arap1", "rr1(22)", "iw")
+
+
+def _run():
+    rows = []
+    for name in DATASETS:
+        context = load_context(name, BENCH)
+        sample, domain, queries = (
+            context.sample,
+            context.relation.domain,
+            context.queries,
+        )
+
+        def bandwidth_from_scale(s: float) -> float:
+            return min(
+                optimal_bandwidth(sample.size, normal_roughness(2, s)),
+                0.499 * domain.width,
+            )
+
+        sd = float(np.std(sample, ddof=1))
+        from repro.bandwidth.scale import robust_scale
+
+        robust = robust_scale(sample)
+        rows.append(
+            {
+                "dataset": name,
+                "robust-scale MRE": mean_relative_error(
+                    make_kernel_estimator(
+                        sample, bandwidth_from_scale(robust), domain, boundary="kernel"
+                    ),
+                    queries,
+                ),
+                "plain-sd MRE": mean_relative_error(
+                    make_kernel_estimator(
+                        sample, bandwidth_from_scale(sd), domain, boundary="kernel"
+                    ),
+                    queries,
+                ),
+                "robust scale": robust,
+                "plain sd": sd,
+            }
+        )
+    return make_result(
+        "ablation-scale-rule",
+        "Kernel NS bandwidth from robust scale vs. plain standard deviation",
+        rows,
+        notes="paper §4.1: plain sd oversmooths; the minimum rule should never lose badly",
+    )
+
+
+def test_ablation_scale_rule(benchmark, save_report):
+    result = run_once(benchmark, _run)
+    save_report(result)
+    robust = np.array(result.column("robust-scale MRE"), dtype=float)
+    plain = np.array(result.column("plain-sd MRE"), dtype=float)
+    # The robust rule never loses meaningfully...
+    assert (robust <= plain * 1.1 + 0.01).all()
+    # ...and wins overall.
+    assert robust.mean() <= plain.mean() + 1e-9

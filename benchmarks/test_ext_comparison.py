@@ -1,0 +1,40 @@
+"""Extension bench: the full estimator zoo (beyond the paper's Fig. 12).
+
+Adds the state-of-the-art families the paper cites but does not
+evaluate (V-optimal [7], wavelet [4], end-biased) to the final
+comparison, at matched statistic sizes.
+
+Expected shape: the cited comparators slot *between* the paper's EWH
+and its kernel/hybrid winners — they refine histogram boundaries, but
+none of them resolves the smoothing-parameter story the paper is
+about, so the paper's conclusions survive the stronger baselines.
+"""
+
+from conftest import BENCH, run_once
+
+from repro.experiments import extended
+
+
+def test_ext_comparison(benchmark, save_report):
+    result = run_once(benchmark, extended.run, BENCH)
+    save_report(result)
+    rows = {row["dataset"]: row for row in result.rows}
+
+    # The paper's headline conclusions must survive the new baselines:
+    # the kernel still wins the smooth synthetic files...
+    for name in ("n(20)", "e(20)"):
+        kernel = float(rows[name]["Kernel MRE"])
+        for label in ("V-opt MRE", "Wavelet MRE", "End-biased MRE"):
+            assert kernel <= float(rows[name][label]) * 1.15, (name, label)
+
+    # ...and the hybrid still wins the TIGER-like files.
+    for name in ("arap1", "rr1(22)"):
+        hybrid = float(rows[name]["Hybrid MRE"])
+        for label in ("V-opt MRE", "Wavelet MRE", "End-biased MRE"):
+            assert hybrid <= float(rows[name][label]), (name, label)
+
+    # Sanity: every method stays finite and below the uniform floor.
+    for row in result.rows:
+        for key, value in row.items():
+            if key.endswith("MRE"):
+                assert 0.0 <= float(value) < 5.0

@@ -1,0 +1,55 @@
+"""Extension bench: query-feedback learning curve (paper §6 future work).
+
+Expected shape: starting from the uniform assumption on skewed data,
+the adaptive histogram's error on fresh queries falls monotonically
+(up to noise) as executed-query feedback accumulates, ending far below
+the starting point.
+"""
+
+from conftest import BENCH, run_once
+
+from repro.data import registry
+from repro.experiments.reporting import make_result
+from repro.feedback import AdaptiveHistogram
+from repro.workload import generate_query_file, mean_relative_error
+
+DATASET = "e(20)"
+CHECKPOINTS = (0, 10, 25, 50, 100, 200, 400)
+
+
+def _run():
+    relation = registry.load(DATASET, seed=BENCH.seed)
+    train = generate_query_file(relation, 0.05, n_queries=max(CHECKPOINTS), seed=21)
+    test = generate_query_file(relation, 0.05, n_queries=BENCH.n_queries, seed=22)
+    estimator = AdaptiveHistogram(relation.domain, bins=64, learning_rate=0.4)
+    rows = []
+    observed = 0
+    for checkpoint in CHECKPOINTS:
+        while observed < checkpoint:
+            i = observed
+            estimator.observe(
+                train.a[i], train.b[i], train.true_counts[i] / train.relation_size
+            )
+            observed += 1
+        rows.append(
+            {
+                "queries observed": checkpoint,
+                "MRE": mean_relative_error(estimator, test),
+            }
+        )
+    return make_result(
+        "ext-feedback",
+        f"Query-feedback learning curve on {DATASET} (uniform start)",
+        rows,
+    )
+
+
+def test_ext_feedback(benchmark, save_report):
+    result = run_once(benchmark, _run)
+    save_report(result)
+    errors = [float(row["MRE"]) for row in result.rows]
+    # Massive improvement end to end...
+    assert errors[-1] < 0.3 * errors[0]
+    # ...and the curve is broadly decreasing.
+    assert errors[2] < errors[0]
+    assert errors[-1] <= min(errors[:3])

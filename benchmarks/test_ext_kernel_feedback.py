@@ -1,0 +1,100 @@
+"""Extension bench: query feedback for kernel estimators (§6, third item).
+
+Trains the feedback-weighted kernel on an executed workload over a
+*deliberately biased* ANALYZE sample and measures held-out error
+against the static kernel (same sample, same bandwidth) and the
+histogram-based adaptive estimator.
+
+Expected shape: feedback repairs most of the sample bias; the kernel
+variant beats the uniform-start adaptive histogram because it starts
+from the sample instead of from nothing.
+"""
+
+import numpy as np
+from conftest import BENCH, run_once
+
+from repro.bandwidth.normal_scale import kernel_bandwidth
+from repro.core.kernel import make_kernel_estimator
+from repro.data.domain import Interval
+from repro.data.relation import Relation
+from repro.experiments.reporting import make_result
+from repro.feedback import AdaptiveHistogram, FeedbackKernelEstimator
+from repro.workload import generate_query_file, mean_relative_error
+
+DOMAIN = Interval(0.0, 1_000.0)
+
+
+def _biased_world():
+    """A smooth 70/30 Gaussian mixture; the sample is drawn 50/50.
+
+    Smoothness matters: the feedback kernel starts with the right
+    *shapes* and only has to relearn the mixture proportions, while
+    the uniform-start adaptive histogram must learn the bells from
+    scratch through piecewise-constant glasses.
+    """
+    rng = np.random.default_rng(13)
+    data = np.clip(
+        np.concatenate(
+            [
+                rng.normal(280.0, 70.0, 140_000),
+                rng.normal(720.0, 70.0, 60_000),
+            ]
+        ),
+        0,
+        1_000,
+    )
+    relation = Relation(data, DOMAIN)
+    sample = np.clip(
+        np.concatenate(
+            [
+                rng.normal(280.0, 70.0, 1_000),
+                rng.normal(720.0, 70.0, 1_000),
+            ]
+        ),
+        0,
+        1_000,
+    )
+    return relation, sample
+
+
+def _run():
+    relation, sample = _biased_world()
+    train = generate_query_file(relation, 0.05, n_queries=400, seed=1)
+    test = generate_query_file(relation, 0.05, n_queries=BENCH.n_queries, seed=2)
+    truths = train.true_counts / train.relation_size
+
+    h = kernel_bandwidth(sample)
+    static = make_kernel_estimator(sample, h, DOMAIN, boundary="reflection")
+    feedback_kernel = FeedbackKernelEstimator(sample, h, DOMAIN, learning_rate=0.5)
+    feedback_kernel.observe_workload(train.a, train.b, truths)
+    adaptive = AdaptiveHistogram(DOMAIN, bins=64, learning_rate=0.4)
+    adaptive.observe_workload(train.a, train.b, truths)
+
+    rows = [
+        {
+            "estimator": "static kernel (biased sample)",
+            "held-out MRE": mean_relative_error(static, test),
+        },
+        {
+            "estimator": "feedback kernel",
+            "held-out MRE": mean_relative_error(feedback_kernel, test),
+        },
+        {
+            "estimator": "adaptive histogram (uniform start)",
+            "held-out MRE": mean_relative_error(adaptive, test),
+        },
+    ]
+    return make_result(
+        "ext-kernel-feedback",
+        "Query feedback repairing a biased ANALYZE sample (5% queries)",
+        rows,
+        notes="relation is a 70/30 Gaussian mixture; the sample was drawn 50/50",
+    )
+
+
+def test_ext_kernel_feedback(benchmark, save_report):
+    result = run_once(benchmark, _run)
+    save_report(result)
+    errors = {row["estimator"]: float(row["held-out MRE"]) for row in result.rows}
+    assert errors["feedback kernel"] < 0.6 * errors["static kernel (biased sample)"]
+    assert errors["feedback kernel"] < errors["adaptive histogram (uniform start)"]

@@ -1,0 +1,27 @@
+"""Bench: Fig. 3 — the boundary problem of untreated kernel estimators.
+
+Expected shape: signed error near zero in the domain center, large
+negative error (hundreds of the ~1,000-record true result) where the
+query touches a boundary.
+"""
+
+import numpy as np
+from conftest import BENCH, run_once
+
+from repro.experiments import fig03
+
+
+def test_fig03_boundary_error(benchmark, save_report):
+    result = run_once(benchmark, fig03.run, BENCH)
+    save_report(result)
+    errors = np.array(result.column("signed error [records]"), dtype=float)
+    true = np.array(result.column("true result"), dtype=float)
+    center = len(errors) // 2
+
+    # Edge queries lose a large share of their ~1,000-record result.
+    assert errors[0] < -0.3 * true[0]
+    assert errors[-1] < -0.3 * true[-1]
+    # Center queries are an order of magnitude more accurate.
+    assert abs(errors[center]) < 0.1 * true[center]
+    # The paper's headline number: error approaching 500 of 1,000.
+    assert errors.min() < -350

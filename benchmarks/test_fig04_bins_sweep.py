@@ -1,0 +1,29 @@
+"""Bench: Fig. 4 — MRE vs. number of bins (equi-width, Normal data).
+
+Expected shape: U-curve whose minimum undercuts the flat pure-sampling
+baseline by a factor of ~2, with both extremes (very few / very many
+bins) far worse than the optimum.
+"""
+
+import numpy as np
+from conftest import BENCH, run_once
+
+from repro.experiments import fig04
+
+
+def test_fig04_bins_sweep(benchmark, save_report):
+    result = run_once(benchmark, fig04.run, BENCH)
+    save_report(result)
+    bins = np.array(result.column("bins"), dtype=float)
+    errors = np.array(result.column("equi-width MRE"), dtype=float)
+    sampling = float(result.rows[0]["sampling MRE"])
+
+    best = errors.min()
+    best_bins = bins[int(np.argmin(errors))]
+    # The optimum clearly beats sampling (paper: 7% vs 17.5%).
+    assert best < 0.7 * sampling
+    # The optimum sits at a moderate bin count (paper: ~20).
+    assert 5 <= best_bins <= 200
+    # U-shape: both ends of the sweep are much worse than the optimum.
+    assert errors[0] > 2 * best
+    assert errors[-1] > 1.3 * best

@@ -1,0 +1,23 @@
+"""Bench: Fig. 5 — the impact of the domain cardinality.
+
+Expected shape: the achievable error grows considerably with the
+domain cardinality — n(10) (nearly uniform truncated slice, heavy
+duplicates) is easiest, n(20) (full bell, few duplicates) hardest.
+"""
+
+from conftest import BENCH, run_once
+
+from repro.experiments import fig05
+
+
+def test_fig05_domain_cardinality(benchmark, save_report):
+    result = run_once(benchmark, fig05.run, BENCH)
+    save_report(result)
+    best = {
+        name: min(float(row[f"{name} MRE"]) for row in result.rows)
+        for name in ("n(10)", "n(15)", "n(20)")
+    }
+    assert best["n(10)"] < best["n(20)"]
+    assert best["n(15)"] < best["n(20)"]
+    # "Considerably higher" for the large domain (paper §5.2.1).
+    assert best["n(20)"] > 1.5 * best["n(10)"]

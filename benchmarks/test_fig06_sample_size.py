@@ -1,0 +1,29 @@
+"""Bench: Fig. 6 — consistency in the sample size.
+
+Expected shape: all three estimators improve with n (consistency);
+kernel < equi-width < sampling at every meaningful size, matching the
+convergence rates n^(-4/5) < n^(-2/3) < n^(-1/2).
+"""
+
+import numpy as np
+from conftest import BENCH, run_once
+
+from repro.experiments import fig06
+
+
+def test_fig06_sample_size(benchmark, save_report):
+    result = run_once(benchmark, fig06.run, BENCH)
+    save_report(result)
+    sizes = np.array(result.column("sample size"), dtype=float)
+    sampling = np.array(result.column("sampling MRE"), dtype=float)
+    ewh = np.array(result.column("equi-width MRE"), dtype=float)
+    kernel = np.array(result.column("kernel MRE"), dtype=float)
+
+    # Consistency: the error falls substantially from 200 to 10,000.
+    for series in (sampling, ewh, kernel):
+        assert series[-1] < 0.7 * series[0]
+    # Ordering at the paper's headline sample size (2,000).
+    at_2000 = int(np.argwhere(sizes == 2_000)[0][0])
+    assert kernel[at_2000] < ewh[at_2000] < sampling[at_2000]
+    # Mean ordering across the sweep.
+    assert kernel.mean() < ewh.mean() < sampling.mean()

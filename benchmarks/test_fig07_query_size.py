@@ -1,0 +1,22 @@
+"""Bench: Fig. 7 — the impact of the query size.
+
+Expected shape: for every data file the MRE falls as queries grow from
+1% to 10% of the domain (paper example: arap2 from 17.5% to 4.5%).
+"""
+
+from conftest import BENCH, run_once
+
+from repro.experiments import fig07
+
+
+def test_fig07_query_size(benchmark, save_report):
+    result = run_once(benchmark, fig07.run, BENCH)
+    save_report(result)
+    for row in result.rows:
+        small = float(row["1% MRE"])
+        large = float(row["10% MRE"])
+        assert large < small, row["dataset"]
+    # On average the 10% queries are at least twice as easy.
+    mean_small = sum(float(r["1% MRE"]) for r in result.rows) / len(result.rows)
+    mean_large = sum(float(r["10% MRE"]) for r in result.rows) / len(result.rows)
+    assert mean_large < 0.5 * mean_small

@@ -1,0 +1,39 @@
+"""Bench: Fig. 8 — histogram estimators at observed-optimal bins.
+
+Expected shape: the serious histograms are close to each other and
+clearly better than pure sampling on synthetic files; max-diff does
+NOT dominate on large metric domains (contradicting the small-domain
+literature, which is the paper's point); the uniform estimator
+collapses on every skewed file.
+"""
+
+import numpy as np
+from conftest import BENCH, run_once
+
+from repro.experiments import fig08
+
+
+def test_fig08_histogram_comparison(benchmark, save_report):
+    result = run_once(benchmark, fig08.run, BENCH)
+    save_report(result)
+    rows = {row["dataset"]: row for row in result.rows}
+
+    # Uniform collapses on skewed files (paper: ~600% on the census file).
+    for name in ("n(20)", "e(20)", "arap1", "iw"):
+        assert rows[name]["uniform MRE"] > 3 * rows[name]["EWH MRE"], name
+
+    # Histograms beat sampling on the synthetic files.
+    for name in ("u(20)", "n(20)", "e(20)"):
+        assert rows[name]["EWH MRE"] < rows[name]["sampling MRE"], name
+
+    # Max-diff never wins by a meaningful margin, and loses clearly on
+    # at least one smooth file (the paper's headline contradiction).
+    mdh_losses = sum(
+        1
+        for row in result.rows
+        if float(row["MDH MRE"]) > 1.2 * float(row["EWH MRE"])
+    )
+    assert mdh_losses >= 1
+    ewh_mean = np.mean([float(r["EWH MRE"]) for r in result.rows])
+    mdh_mean = np.mean([float(r["MDH MRE"]) for r in result.rows])
+    assert ewh_mean <= mdh_mean * 1.05

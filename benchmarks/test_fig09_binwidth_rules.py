@@ -1,0 +1,29 @@
+"""Bench: Fig. 9 — bin-count selection rules for equi-width histograms.
+
+Expected shape: the normal scale rule lands close to the observed
+optimum on the synthetic files (paper: ~3 points above on average)
+and degrades on the structured real files.
+"""
+
+from conftest import BENCH, run_once
+
+from repro.experiments import fig09
+
+
+def test_fig09_binwidth_rules(benchmark, save_report):
+    result = run_once(benchmark, fig09.run, BENCH)
+    save_report(result)
+    rows = {row["dataset"]: row for row in result.rows}
+
+    # h-opt is an oracle: it can never lose to the rule.
+    for row in result.rows:
+        assert row["h-opt MRE"] <= row["h-NS MRE"] + 1e-9, row["dataset"]
+
+    # On the smooth synthetic files the rule is within a few points.
+    for name in ("n(20)", "e(20)"):
+        gap = float(rows[name]["h-NS MRE"]) - float(rows[name]["h-opt MRE"])
+        assert gap < 0.06, name
+
+    # The rule's NS bin count is in a sane range on Normal data
+    # (paper's optimum was ~20 for n=2,000).
+    assert 5 <= rows["n(20)"]["h-NS bins"] <= 200

@@ -1,0 +1,30 @@
+"""Bench: Fig. 10 — boundary treatments compared.
+
+Expected shape: the untreated estimator's relative error spikes near
+both domain edges; reflection and boundary kernels both flatten the
+spike to a small multiple of the interior error.
+"""
+
+import numpy as np
+from conftest import BENCH, run_once
+
+from repro.experiments import fig10
+
+
+def test_fig10_boundary_treatments(benchmark, save_report):
+    result = run_once(benchmark, fig10.run, BENCH)
+    save_report(result)
+    none = np.array(result.column("none rel. error"), dtype=float)
+    reflection = np.array(result.column("reflection rel. error"), dtype=float)
+    kernel = np.array(result.column("kernel rel. error"), dtype=float)
+
+    edges = np.r_[0:5, -5:0]
+    center = slice(len(none) // 2 - 5, len(none) // 2 + 5)
+
+    # Untreated: edge error is an order of magnitude above the center.
+    assert none[edges].mean() > 5 * none[center].mean()
+    # Both treatments collapse the edge spike by a wide margin.
+    assert reflection[edges].mean() < 0.4 * none[edges].mean()
+    assert kernel[edges].mean() < 0.4 * none[edges].mean()
+    # In the interior all three behave alike.
+    assert abs(kernel[center].mean() - none[center].mean()) < 0.02

@@ -1,0 +1,40 @@
+"""Bench: Fig. 12 — the final shoot-out of the promising estimators.
+
+Expected shape (paper §5.2.6): the kernel estimator wins on the
+synthetic files u/n/e(20); the hybrid wins on the TIGER-like spatial
+files; no method is catastrophically ahead or behind on the census
+file.
+"""
+
+from conftest import BENCH, run_once
+
+from repro.experiments import fig12
+
+SYNTHETIC = ("u(20)", "n(20)", "e(20)")
+TIGER = ("arap1", "arap2", "rr1(22)", "rr2(22)")
+METHODS = ("EWH MRE", "Kernel MRE", "Hybrid MRE", "ASH MRE")
+
+
+def test_fig12_final_comparison(benchmark, save_report):
+    result = run_once(benchmark, fig12.run, BENCH)
+    save_report(result)
+    rows = {row["dataset"]: row for row in result.rows}
+
+    # Kernel is the best (or tied-best) family on the synthetic files.
+    for name in SYNTHETIC:
+        kernel = float(rows[name]["Kernel MRE"])
+        others = [float(rows[name][m]) for m in METHODS if m != "Kernel MRE"]
+        assert kernel <= min(others) * 1.25, name
+
+    # Hybrid wins on the majority of the TIGER-like files.
+    hybrid_wins = sum(
+        1
+        for name in TIGER
+        if float(rows[name]["Hybrid MRE"]) <= min(float(rows[name][m]) for m in METHODS)
+    )
+    assert hybrid_wins >= 2
+
+    # Hybrid beats the plain kernel on TIGER-like data on average.
+    mean_hybrid = sum(float(rows[n]["Hybrid MRE"]) for n in TIGER) / len(TIGER)
+    mean_kernel = sum(float(rows[n]["Kernel MRE"]) for n in TIGER) / len(TIGER)
+    assert mean_hybrid < mean_kernel

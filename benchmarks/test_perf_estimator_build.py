@@ -1,0 +1,52 @@
+"""Perf: build and query cost of every estimator family.
+
+Micro-benchmarks of what a database system would pay: building the
+statistic from a 2,000-record sample (ANALYZE time) and answering a
+300-query batch (optimization time).
+"""
+
+import numpy as np
+import pytest
+
+from repro import estimators
+from repro.data.domain import Interval
+
+DOMAIN = Interval(0.0, 1_000_000.0)
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return np.random.default_rng(0).uniform(DOMAIN.low, DOMAIN.high, 2_000)
+
+
+@pytest.fixture(scope="module")
+def query_batch():
+    rng = np.random.default_rng(1)
+    a = rng.uniform(DOMAIN.low, DOMAIN.high * 0.99, 300)
+    return a, a + 0.01 * DOMAIN.width
+
+
+BUILDERS = {
+    "sampling": lambda s: estimators.sampling(s, DOMAIN),
+    "equi_width": lambda s: estimators.equi_width(s, DOMAIN),
+    "equi_depth": lambda s: estimators.equi_depth(s, DOMAIN),
+    "max_diff": lambda s: estimators.max_diff(s, DOMAIN),
+    "ash": lambda s: estimators.ash(s, DOMAIN),
+    "kernel_ns": lambda s: estimators.kernel(s, DOMAIN),
+    "kernel_dpi": lambda s: estimators.kernel(s, DOMAIN, bandwidth="plug-in"),
+    "hybrid": lambda s: estimators.hybrid(s, DOMAIN),
+}
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_perf_build(benchmark, sample, name):
+    estimator = benchmark(BUILDERS[name], sample)
+    assert estimator.selectivity(DOMAIN.low, DOMAIN.high) >= 0.0
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_perf_query_batch(benchmark, sample, query_batch, name):
+    estimator = BUILDERS[name](sample)
+    a, b = query_batch
+    out = benchmark(estimator.selectivities, a, b)
+    assert out.shape == a.shape

@@ -1,0 +1,53 @@
+"""Perf: Algorithm 1's windowed fast path vs. the Theta(n) scan.
+
+The paper notes the kernel estimator drops from Theta(n) to
+O(log n + k) with a search structure over the sorted sample.  This is
+a genuine micro-benchmark (many rounds): the fast path must win
+clearly for small queries on a large sample.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import KernelSelectivityEstimator
+
+N_SAMPLES = 50_000
+N_QUERIES = 200
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    sample = np.random.default_rng(0).uniform(0.0, 1.0, N_SAMPLES)
+    return KernelSelectivityEstimator(sample, 0.001)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    rng = np.random.default_rng(1)
+    a = rng.uniform(0.1, 0.8, N_QUERIES)
+    return a, a + 0.01
+
+
+def test_perf_fast_path(benchmark, estimator, queries):
+    a, b = queries
+    result = benchmark(estimator.selectivities, a, b)
+    assert result.shape == (N_QUERIES,)
+
+
+def test_perf_reference_scan(benchmark, estimator, queries):
+    a, b = queries
+
+    def scan_all():
+        return np.array(
+            [estimator.selectivity_scan(x, y) for x, y in zip(a, b)]
+        )
+
+    result = benchmark(scan_all)
+    assert result.shape == (N_QUERIES,)
+
+
+def test_fastpath_agrees_with_scan(estimator, queries):
+    a, b = queries
+    fast = estimator.selectivities(a, b)
+    scan = np.array([estimator.selectivity_scan(x, y) for x, y in zip(a, b)])
+    np.testing.assert_allclose(fast, scan, atol=1e-12)

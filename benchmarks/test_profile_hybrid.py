@@ -1,0 +1,35 @@
+"""Diagnostic bench: where the hybrid's Fig.-12 win comes from.
+
+Measured shape on the arap1 stand-in: the hybrid beats the plain
+kernel in *both* position bands — near detected change points (where
+bin boundaries stop smoothing across density jumps) and away from
+them (where the per-bin bandwidths adapt to local density in a way a
+single global bandwidth cannot).  The bands also differ in data
+density, so the comparison is within-band only: each band's hybrid
+error against the same band's kernel error.
+"""
+
+from conftest import BENCH, run_once
+
+from repro.experiments import profile
+
+
+def test_profile_hybrid(benchmark, save_report):
+    result = run_once(benchmark, profile.run, BENCH)
+    save_report(result)
+    rows = {row["region"]: row for row in result.rows}
+    near = rows["near change points"]
+    away = rows["away from change points"]
+
+    assert near["queries"] > 5
+    assert away["queries"] > 5
+    # Within each band the hybrid is at least as good as the kernel.
+    assert float(near["hybrid MRE"]) <= float(near["kernel MRE"]) * 1.05
+    assert float(away["hybrid MRE"]) <= float(away["kernel MRE"]) * 1.05
+    # And it is a strict improvement in at least one band.
+    improvements = sum(
+        1
+        for band in (near, away)
+        if float(band["hybrid MRE"]) < 0.95 * float(band["kernel MRE"])
+    )
+    assert improvements >= 1

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table 2 (data-file properties)."""
+
+from conftest import BENCH, run_once
+
+from repro.experiments import table2
+
+
+def test_table2_datasets(benchmark, save_report):
+    result = run_once(benchmark, table2.run, BENCH)
+    save_report(result)
+    rows = {row["data file"]: row for row in result.rows}
+    # Declared counts reproduced exactly.
+    assert rows["arap1"]["measured #records"] == 52_120
+    assert rows["iw"]["measured #records"] == 199_523
+    assert rows["rr1(22)"]["measured #records"] == 257_942
+    # Duplicates grow as the domain shrinks (paper §5.2.1).
+    assert rows["n(10)"]["#distinct"] < rows["n(15)"]["#distinct"] < rows["n(20)"]["#distinct"]

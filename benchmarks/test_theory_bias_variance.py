@@ -1,0 +1,69 @@
+"""Theory bench: the bias-variance trade-off behind §4.2.
+
+Regenerates the conceptual curve the paper's smoothing-parameter
+theory rests on: integrated variance falls with h, integrated squared
+bias rises with h, and their sum (the MISE) is minimized in between —
+near the AMISE-optimal bandwidth of eq. 9.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bandwidth.amise import normal_roughness, optimal_bandwidth
+from repro.core.kernel import KernelSelectivityEstimator
+from repro.data.domain import Interval
+from repro.evaluation import NormalTruth, tradeoff_curve
+from repro.experiments.reporting import make_result
+
+DOMAIN = Interval(0.0, 10.0)
+SIGMA = 1.5
+N = 800
+
+
+def _run():
+    truth = NormalTruth(DOMAIN, mean=5.0, sigma=SIGMA)
+    h_star = optimal_bandwidth(N, normal_roughness(2, SIGMA))
+    smoothing = np.geomspace(h_star / 6, h_star * 6, 7)
+    curve = tradeoff_curve(
+        lambda sample, h: KernelSelectivityEstimator(sample, h),
+        truth,
+        smoothing,
+        sample_size=N,
+        replications=25,
+        grid_points=512,
+    )
+    rows = [
+        {
+            "bandwidth": h,
+            "integrated variance": d.integrated_variance,
+            "integrated bias^2": d.integrated_squared_bias,
+            "MISE": d.mise,
+            "h/h*": h / h_star,
+        }
+        for h, d in curve
+    ]
+    return make_result(
+        "theory-bias-variance",
+        f"Bias-variance trade-off of the kernel estimator (n={N}, Normal truth)",
+        rows,
+        notes=f"AMISE-optimal bandwidth h* = {h_star:.3f} (eq. 9)",
+    )
+
+
+def test_theory_bias_variance(benchmark, save_report):
+    result = run_once(benchmark, _run)
+    save_report(result)
+    variance = np.array(result.column("integrated variance"), dtype=float)
+    bias = np.array(result.column("integrated bias^2"), dtype=float)
+    mise = np.array(result.column("MISE"), dtype=float)
+    ratio = np.array(result.column("h/h*"), dtype=float)
+
+    # Complementary monotonicity (up to replication noise at the ends).
+    assert variance[0] > variance[-1]
+    assert bias[0] < bias[-1]
+    # The measured MISE minimum sits near h* (within a factor ~2.5).
+    best = ratio[int(np.argmin(mise))]
+    assert 0.4 < best < 2.5
+    # The interior minimum beats both extremes.
+    assert mise.min() < 0.8 * mise[0]
+    assert mise.min() < 0.8 * mise[-1]

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Scenario: approximate COUNT(*) answers over a data-warehouse column.
+
+The paper's second motivation: on very large databases, users accept
+an *approximate* aggregate answer if it arrives much faster than the
+exact one.  This example plays a warehouse session over the simulated
+census instance-weight file (199,523 records):
+
+* the exact answer touches all 199,523 records;
+* the approximate answer touches only the 2,000-record sample that was
+  collected once, via the kernel estimator — in a real warehouse that
+  is the difference between scanning the table and reading a resident
+  statistic;
+* sampling-theory error bars (the paper's consistency discussion)
+  frame how much to trust each answer.
+
+Run:  python examples/approximate_counting.py
+"""
+
+from repro import datasets, estimators
+from repro.core.sampling import SamplingEstimator
+
+
+def main() -> None:
+    relation = datasets.load("iw")
+    sample = relation.sample(2_000, seed=9)
+    kernel = estimators.kernel(sample, relation.domain, bandwidth="plug-in")
+    sampling = SamplingEstimator(sample, relation.domain)
+
+    session = [
+        ("weights in the bulk", 0.03, 0.09),
+        ("the first heavy stratum", 0.05, 0.055),
+        ("long right tail", 0.25, 0.90),
+        ("everything below the median-ish", 0.00, 0.07),
+    ]
+
+    touched_exact = relation.size
+    touched_approx = sample.size
+    print(f"relation: {relation}")
+    print(
+        f"records touched per answer: exact={touched_exact:,}, "
+        f"approximate={touched_approx:,} "
+        f"({touched_exact / touched_approx:.0f}x less data)\n"
+    )
+    print(
+        f"{'predicate':<32} {'exact':>9} {'approx':>9} {'rel.err':>8} "
+        f"{'+-1sigma':>9}"
+    )
+    print("-" * 72)
+    for label, lo_frac, hi_frac in session:
+        a = relation.domain.low + lo_frac * relation.domain.width
+        b = relation.domain.low + hi_frac * relation.domain.width
+        exact = relation.count(a, b)
+        approx = kernel.estimate_result_size(a, b, relation.size)
+        rel_err = abs(approx - exact) / max(exact, 1)
+        sigma = sampling.standard_error(min(max(approx / relation.size, 0.0), 1.0))
+        band = sigma * relation.size
+        print(
+            f"{label:<32} {exact:>9d} {approx:>9.0f} {rel_err:>8.2%} "
+            f"{band:>9.0f}"
+        )
+
+    print(
+        "\nThe error bars are the binomial +-1 sigma of a 2,000-record "
+        "sample —\nthe kernel estimate typically lands well inside them "
+        "(its convergence\nrate n^(-4/5) beats pure sampling's n^(-1/2), "
+        "paper §2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Scenario: choosing the smoothing parameter (paper §4 in action).
+
+Sweeps the kernel bandwidth on a smooth synthetic file and on a
+structured "real" file, prints the error curve, and marks where the
+paper's two practical rules — normal scale and direct plug-in — land
+on it.  The output shows the paper's Fig. 11 story in one screen:
+on Normal data both rules sit near the optimum; on TIGER-like data
+the normal scale rule oversmooths by an order of magnitude while the
+plug-in rule stays close.
+
+Run:  python examples/bandwidth_tuning.py
+"""
+
+import numpy as np
+
+from repro import datasets
+from repro.bandwidth import kernel_bandwidth, plugin_bandwidth
+from repro.core.kernel import make_kernel_estimator
+from repro.workload import generate_query_file, mean_relative_error
+
+
+def sweep(dataset: str) -> None:
+    relation = datasets.load(dataset)
+    sample = relation.sample(2_000, seed=1)
+    queries = generate_query_file(relation, 0.01, n_queries=300, seed=2)
+    domain = relation.domain
+
+    h_ns = min(kernel_bandwidth(sample), 0.499 * domain.width)
+    h_dpi = min(plugin_bandwidth(sample, steps=2, domain=domain), 0.499 * domain.width)
+
+    grid = np.geomspace(h_ns / 50, min(h_ns * 10, 0.499 * domain.width), 15)
+    grid = np.unique(np.concatenate([grid, [h_ns, h_dpi]]))
+
+    print(f"\n=== {dataset}: bandwidth sweep (1% queries) ===")
+    print(f"{'bandwidth':>14} {'MRE':>9}  marker")
+    print("-" * 40)
+    for h in grid:
+        estimator = make_kernel_estimator(sample, h, domain, boundary="kernel")
+        mre = mean_relative_error(estimator, queries)
+        marks = []
+        if np.isclose(h, h_ns):
+            marks.append("<- normal scale")
+        if np.isclose(h, h_dpi):
+            marks.append("<- plug-in (2 steps)")
+        bar = "#" * min(60, int(mre * 120))
+        print(f"{h:>14.1f} {mre:>9.2%}  {bar} {' '.join(marks)}")
+
+
+def main() -> None:
+    sweep("n(20)")  # smooth: both rules near the optimum
+    sweep("rr1(22)")  # structured: NS oversmooths, DPI recovers
+    print(
+        "\nTakeaway (paper Fig. 11): the normal scale rule is excellent on "
+        "smooth data\nand disastrous on structured data; the plug-in rule "
+        "adapts to both."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Scenario: the full System R loop — ANALYZE, estimate, EXPLAIN.
+
+Builds a three-column spatial table (two correlated coordinates plus
+an independent attribute), runs ``ANALYZE`` with kernel statistics and
+a joint statistic on the correlated pair, then walks a small query
+session showing
+
+* estimated vs. actual cardinalities (with and without the joint
+  statistic — the independence assumption is off by an order of
+  magnitude on the correlated pair), and
+* the access-path decision each estimate drives, EXPLAIN-style.
+
+Run:  python examples/mini_optimizer.py
+"""
+
+import numpy as np
+
+from repro.data.domain import Interval
+from repro.db import Catalog, Planner, RangePredicate, Table
+
+
+def build_table() -> Table:
+    rng = np.random.default_rng(11)
+    n = 200_000
+    domain = Interval(0.0, 10_000.0)
+    # Road-network-ish: x clustered; y tracks x (a diagonal corridor).
+    x = np.clip(
+        np.concatenate(
+            [
+                rng.normal(3_000, 600, n // 2),
+                rng.normal(7_000, 900, n // 2),
+            ]
+        ),
+        0,
+        10_000,
+    )
+    y = np.clip(x + rng.normal(0, 300, n), 0, 10_000)
+    value = np.clip(rng.exponential(1_500, n), 0, 10_000)
+    return Table(
+        "assets",
+        {"x": (x, domain), "y": (y, domain), "value": (value, domain)},
+    )
+
+
+def main() -> None:
+    table = build_table()
+    print(f"table: {table}\n")
+
+    catalog = Catalog(family="kernel", sample_size=2_000)
+    catalog.analyze(table, joint=[("x", "y")], seed=3)
+    planner = Planner(catalog)
+
+    independent = Catalog(family="kernel", sample_size=2_000)
+    independent.analyze(table, seed=3)
+    naive = Planner(independent)
+
+    session = [
+        (
+            "point-ish lookup in the first cluster",
+            [RangePredicate("x", 2_950.0, 3_050.0)],
+        ),
+        (
+            "corridor box (correlated pair!)",
+            [RangePredicate("x", 2_500.0, 3_500.0), RangePredicate("y", 2_500.0, 3_500.0)],
+        ),
+        (
+            "anti-correlated box (x low, y high)",
+            [RangePredicate("x", 2_500.0, 3_500.0), RangePredicate("y", 6_500.0, 7_500.0)],
+        ),
+        (
+            "broad value filter",
+            [RangePredicate("value", 0.0, 5_000.0)],
+        ),
+    ]
+
+    for label, predicates in session:
+        true = table.count({p.column: (p.a, p.b) for p in predicates})
+        joint_est = planner.cardinality(table, predicates)
+        naive_est = naive.cardinality(table, predicates)
+        plan = planner.plan(table, predicates)
+        print(f"-- {label}")
+        print(
+            f"   actual rows {true:>8,}   joint estimate {joint_est:>10,.0f}   "
+            f"independence {naive_est:>10,.0f}"
+        )
+        print(f"   EXPLAIN: {plan.explain()}\n")
+
+    print(
+        "On the correlated pair the independence assumption misses by an "
+        "order of\nmagnitude in both directions; the joint 2-D kernel "
+        "statistic stays close —\nthe §6 multidimensional extension doing "
+        "optimizer work."
+    )
+
+
+if __name__ == "__main__":
+    main()

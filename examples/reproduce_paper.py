@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper in one run.
+
+Runs the experiment module behind each of the paper's Table 2 and
+Figures 3-12 and prints the rows.  By default the FAST protocol is
+used (150 queries per file, reduced data-file list); pass ``--paper``
+for the full protocol (2,000 samples, 1,000 queries, all files —
+several minutes).
+
+Run:  python examples/reproduce_paper.py [--paper]
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import DEFAULT, FAST
+from repro.experiments import (
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    table2,
+)
+
+MODULES = (table2, fig03, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12)
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="run the paper's full protocol instead of the fast one",
+    )
+    parser.add_argument(
+        "--only",
+        metavar="ID",
+        help="run a single experiment, e.g. fig12 or table2",
+    )
+    args = parser.parse_args(argv)
+    config = DEFAULT if args.paper else FAST
+
+    modules = MODULES
+    if args.only:
+        modules = tuple(m for m in MODULES if m.__name__.endswith(args.only))
+        if not modules:
+            parser.error(f"unknown experiment {args.only!r}")
+
+    for module in modules:
+        started = time.perf_counter()
+        result = module.run(config)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"[{module.__name__.split('.')[-1]}: {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Scenario: planning the ANALYZE sample ("how much is enough?").
+
+The paper's theory (§4) fixes the error of each estimator *family* at
+its optimal smoothing as an exact power law of the sample size — which
+turns around into a planning tool (the question Chaudhuri et al.,
+SIGMOD 1998, cited by the paper, ask for histograms): given a target
+accuracy for the statistics, how many records must ANALYZE sample?
+
+This example plans sample sizes for a target density error on Normal
+data, then *validates the plan empirically*: it builds estimators with
+the planned n and measures whether they hit the target.
+
+Run:  python examples/sample_size_planning.py
+"""
+
+import numpy as np
+
+from repro.bandwidth import (
+    histogram_sample_size,
+    kernel_sample_size,
+    normal_roughness,
+    optimal_bandwidth,
+    optimal_bin_width,
+    sampling_sample_size,
+)
+from repro.core.histogram import EquiWidthHistogram
+from repro.core.kernel import KernelSelectivityEstimator
+from repro.data.domain import Interval
+from repro.evaluation import NormalTruth, estimate_mise
+
+
+def main() -> None:
+    domain = Interval(0.0, 10.0)
+    sigma = 1.5
+    truth = NormalTruth(domain, mean=5.0, sigma=sigma)
+    r1 = normal_roughness(1, sigma)
+    r2 = normal_roughness(2, sigma)
+
+    print("=== planning: samples needed per target AMISE ===\n")
+    print(f"{'target AMISE':>14} {'histogram n':>12} {'kernel n':>10} {'ratio':>7}")
+    print("-" * 48)
+    for target in (3e-3, 1e-3, 3e-4, 1e-4):
+        n_hist = histogram_sample_size(target, r1)
+        n_kern = kernel_sample_size(target, r2)
+        print(f"{target:>14.0e} {n_hist:>12,} {n_kern:>10,} {n_hist / n_kern:>6.1f}x")
+
+    print(
+        "\nThe kernel's n^(-4/5) rate compounds: the tighter the target, "
+        "the bigger its\nsampling advantage over the histogram's n^(-2/3)."
+    )
+
+    # Validate one plan empirically.
+    target = 1e-3
+    n_kern = kernel_sample_size(target, r2)
+
+    def build_kernel(sample: np.ndarray) -> KernelSelectivityEstimator:
+        return KernelSelectivityEstimator(
+            sample, optimal_bandwidth(sample.size, r2)
+        )
+
+    measured = estimate_mise(build_kernel, truth, n_kern, replications=15, grid_points=512)
+    print(f"\n=== validation (kernel, target AMISE {target:.0e}) ===")
+    print(f"planned n = {n_kern:,}; measured MISE = {measured:.2e}")
+    assert measured < 3 * target, "plan missed by more than the AMISE approximation allows"
+
+    n_hist = histogram_sample_size(target, r1)
+
+    def build_hist(sample: np.ndarray) -> EquiWidthHistogram:
+        width = optimal_bin_width(sample.size, r1)
+        return EquiWidthHistogram(
+            sample, domain, max(1, int(round(domain.width / width)))
+        )
+
+    measured_hist = estimate_mise(build_hist, truth, n_hist, replications=15, grid_points=512)
+    print(f"planned n = {n_hist:,} (histogram); measured MISE = {measured_hist:.2e}")
+
+    # And the single-query binomial plan.
+    print("\n=== single-query plan: pure sampling, sigma = 5%, target se 0.5% ===")
+    n = sampling_sample_size(0.05, 0.005)
+    print(f"needed sample size: {n:,} records")
+
+
+if __name__ == "__main__":
+    main()

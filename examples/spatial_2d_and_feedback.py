@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Scenario: the paper's future-work items in action (§6).
+
+Part 1 — **multidimensional kernel estimation**: rectangle-query
+selectivities on a synthetic 2-D spatial relation (clusters, corridors
+and street grids), product-Epanechnikov kernel vs. 2-D equi-width
+grids of several resolutions.
+
+Part 2 — **query feedback**: an estimator that starts from the
+uniform assumption and learns the distribution purely from executed
+queries (Chen & Roussopoulos 1994), without ever sampling the data.
+
+Run:  python examples/spatial_2d_and_feedback.py
+"""
+
+import numpy as np
+
+from repro import datasets
+from repro.data.domain import Interval
+from repro.feedback import AdaptiveHistogram
+from repro.multidim import (
+    EquiWidthHistogram2D,
+    KernelEstimator2D,
+    generate_query_file_2d,
+    mean_relative_error_2d,
+    plugin_bandwidths_2d,
+)
+from repro.multidim.relation2d import synthetic_spatial_2d
+from repro.workload import generate_query_file, mean_relative_error
+
+
+def part_multidim() -> None:
+    print("=== 2-D rectangle queries on spatial data ===\n")
+    relation = synthetic_spatial_2d(100_000, seed=5)
+    sample = relation.sample(2_000, seed=6)
+    queries = generate_query_file_2d(relation, 0.01, n_queries=300, seed=7)
+
+    lineup = {
+        "kernel (plug-in bandwidths)": KernelEstimator2D(
+            sample,
+            bandwidths=plugin_bandwidths_2d(sample),
+            domain_x=relation.domain_x,
+            domain_y=relation.domain_y,
+        ),
+        "kernel (normal scale — oversmooths)": KernelEstimator2D(
+            sample, domain_x=relation.domain_x, domain_y=relation.domain_y
+        ),
+        "equi-width 8x8": EquiWidthHistogram2D(
+            sample, relation.domain_x, relation.domain_y, 8, 8
+        ),
+        "equi-width 16x16": EquiWidthHistogram2D(
+            sample, relation.domain_x, relation.domain_y, 16, 16
+        ),
+        "equi-width 48x48": EquiWidthHistogram2D(
+            sample, relation.domain_x, relation.domain_y, 48, 48
+        ),
+    }
+    for name, estimator in lineup.items():
+        mre = mean_relative_error_2d(estimator, queries)
+        print(f"  {name:<36} MRE = {mre:7.2%}")
+
+
+def part_feedback() -> None:
+    print("\n=== learning from query feedback (no sample at all) ===\n")
+    relation = datasets.load("e(20)")  # skewed: uniform start is terrible
+    domain: Interval = relation.domain
+    train = generate_query_file(relation, 0.05, n_queries=400, seed=11)
+    test = generate_query_file(relation, 0.05, n_queries=300, seed=12)
+
+    estimator = AdaptiveHistogram(domain, bins=64, learning_rate=0.4)
+    checkpoints = (0, 25, 100, 400)
+    print(f"  {'queries observed':>17} {'MRE on fresh queries':>22}")
+    observed = 0
+    for target in checkpoints:
+        while observed < target:
+            i = observed
+            estimator.observe(
+                train.a[i], train.b[i], train.true_counts[i] / train.relation_size
+            )
+            observed += 1
+        mre = mean_relative_error(estimator, test)
+        print(f"  {observed:>17d} {mre:>22.2%}")
+
+    print(
+        "\nThe estimator never touched the relation or a sample — every bit "
+        "of shape\nknowledge came from result sizes the system observed "
+        "anyway."
+    )
+
+
+def main() -> None:
+    part_multidim()
+    part_feedback()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Reproduction of Blohsfeld, Korus & Seeger (SIGMOD 1999).
+
+``repro`` implements every estimator, selection rule, data set and
+experiment from *"A Comparison of Selectivity Estimators for Range
+Queries on Metric Attributes"*:
+
+* pure sampling, equi-width / equi-depth / max-diff / uniform histograms
+  and the average shifted histogram (:mod:`repro.core.histogram`),
+* kernel selectivity estimation with boundary treatments
+  (:mod:`repro.core.kernel`),
+* the hybrid histogram-kernel estimator (:mod:`repro.core.hybrid`),
+* smoothing-parameter selection: normal-scale rules, direct plug-in and
+  workload oracles (:mod:`repro.bandwidth`),
+* the paper's data files (synthetic and simulated real data,
+  :mod:`repro.data`), query workloads and error metrics
+  (:mod:`repro.workload`), and
+* one experiment module per figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart
+----------
+
+>>> import numpy as np
+>>> from repro import datasets, estimators
+>>> relation = datasets.load("n(20)", seed=7)
+>>> sample = relation.sample(2000, seed=11)
+>>> est = estimators.kernel(sample, relation.domain)
+>>> width = 0.01 * relation.domain.width
+>>> center = relation.domain.center
+>>> sel = est.selectivity(center - width / 2, center + width / 2)
+>>> abs(sel * relation.size - relation.count(center - width / 2,
+...                                          center + width / 2)) < 2000
+True
+"""
+
+from repro import estimators
+from repro._version import __version__
+from repro.core.base import (
+    DensityEstimator,
+    EstimatorError,
+    InvalidQueryError,
+    InvalidSampleError,
+    SelectivityEstimator,
+)
+from repro.data import registry as datasets
+from repro.data.domain import IntegerDomain, Interval
+from repro.data.relation import Relation
+from repro.workload.queries import QueryFile, RangeQuery
+
+__all__ = [
+    "DensityEstimator",
+    "EstimatorError",
+    "IntegerDomain",
+    "Interval",
+    "InvalidQueryError",
+    "InvalidSampleError",
+    "QueryFile",
+    "RangeQuery",
+    "Relation",
+    "SelectivityEstimator",
+    "__version__",
+    "datasets",
+    "estimators",
+]

@@ -1,0 +1,92 @@
+"""Command-line entry point: ``python -m repro <experiment> [--paper]``.
+
+Regenerates the paper's tables and figures from the terminal::
+
+    python -m repro list             # available experiments
+    python -m repro fig12            # one experiment, fast protocol
+    python -m repro all --paper      # everything, full protocol
+    python -m repro fig04 --csv      # machine-readable output
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import DEFAULT, FAST
+from repro.experiments import (
+    extended,
+    profile,
+    fig03,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    table2,
+)
+
+EXPERIMENTS = {
+    "table2": table2,
+    "fig03": fig03,
+    "fig04": fig04,
+    "fig05": fig05,
+    "fig06": fig06,
+    "fig07": fig07,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "extended": extended,
+    "profile": profile,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig12), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--paper",
+        action="store_true",
+        help="run the paper's full protocol (1,000 queries, all data files)",
+    )
+    parser.add_argument(
+        "--csv",
+        action="store_true",
+        help="emit CSV instead of the rendered table",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, module in EXPERIMENTS.items():
+            doc = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<8} {doc}")
+        return 0
+
+    if args.experiment == "all":
+        selected = list(EXPERIMENTS.values())
+    elif args.experiment in EXPERIMENTS:
+        selected = [EXPERIMENTS[args.experiment]]
+    else:
+        parser.error(
+            f"unknown experiment {args.experiment!r}; "
+            f"choose from {', '.join(EXPERIMENTS)}, all, list"
+        )
+
+    config = DEFAULT if args.paper else FAST
+    for module in selected:
+        result = module.run(config)
+        print(result.to_csv() if args.csv else result.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Smoothing-parameter selection (paper §4).
+
+Both estimator families hinge on one tuning knob: the histogram bin
+width (equivalently the number of bins) and the kernel bandwidth.
+This package implements the paper's full selection toolbox:
+
+* :mod:`repro.bandwidth.scale` — the robust scale estimate
+  ``min(sd, IQR / 1.348)`` both rules build on.
+* :mod:`repro.bandwidth.amise` — the AMISE formulas and their exact
+  minimizers (paper eqs. 7 and 9), plus exact roughness functionals
+  for reference distributions (used in tests and examples).
+* :mod:`repro.bandwidth.normal_scale` — the normal scale rules
+  ``h_EW ~ (24 sqrt(pi))^(1/3) s n^(-1/3)`` and
+  ``h_K ~ 2.345 s n^(-1/5)``.
+* :mod:`repro.bandwidth.plugin` — the iterative direct plug-in rule
+  (paper §4.3).
+* :mod:`repro.bandwidth.oracle` — workload-based search for the
+  best-possible smoothing parameter (the paper's ``h-opt`` columns).
+"""
+
+from repro.bandwidth.amise import (
+    amise_histogram,
+    amise_kernel,
+    exponential_roughness,
+    normal_roughness,
+    optimal_bandwidth,
+    optimal_bin_width,
+)
+from repro.bandwidth.cross_validation import (
+    lscv_bandwidth,
+    lscv_score,
+    rudemo_bin_count,
+    rudemo_score,
+)
+from repro.bandwidth.normal_scale import (
+    histogram_bin_count,
+    histogram_bin_width,
+    kernel_bandwidth,
+)
+from repro.bandwidth.oracle import oracle_bandwidth, oracle_bin_count
+from repro.bandwidth.plugin import plugin_bandwidth, plugin_bin_count, plugin_bin_width
+from repro.bandwidth.sample_size import (
+    histogram_sample_size,
+    kernel_sample_size,
+    sampling_sample_size,
+)
+from repro.bandwidth.scale import iqr, robust_scale, to_gaussian_bandwidth
+
+__all__ = [
+    "amise_histogram",
+    "amise_kernel",
+    "exponential_roughness",
+    "histogram_bin_count",
+    "histogram_bin_width",
+    "histogram_sample_size",
+    "iqr",
+    "kernel_sample_size",
+    "kernel_bandwidth",
+    "lscv_bandwidth",
+    "lscv_score",
+    "normal_roughness",
+    "optimal_bandwidth",
+    "optimal_bin_width",
+    "oracle_bandwidth",
+    "oracle_bin_count",
+    "plugin_bandwidth",
+    "plugin_bin_count",
+    "plugin_bin_width",
+    "robust_scale",
+    "sampling_sample_size",
+    "rudemo_bin_count",
+    "rudemo_score",
+    "to_gaussian_bandwidth",
+]

@@ -1,0 +1,143 @@
+"""Least-squares cross-validation bandwidth selection (Rudemo; Bowman).
+
+The third classical selector from the literature the paper cites
+(Silverman §3.4.3; Wand & Jones ch. 3), complementing the normal scale
+and direct plug-in rules: choose ``h`` minimizing the unbiased
+estimate of ``ISE(h) - R(f)``,
+
+.. math::
+
+   LSCV(h) = \\int \\hat f_h^2
+             - \\frac{2}{n} \\sum_i \\hat f_{h,-i}(X_i)
+
+where ``f_{h,-i}`` is the leave-one-out estimator.  Both terms have
+closed forms for the kernels here:
+
+* ``int f_hat^2 = (1/(n^2 h)) * sum_{i,j} (K*K)((X_i - X_j)/h)`` with
+  the kernel's self-convolution ``K*K``,
+* the leave-one-out sum is a pairwise kernel sum.
+
+The histogram analogue (Rudemo's rule) scores a bin width by
+``2/((n-1)h) - (n+1)/((n-1)h) * sum p_k^2`` with ``p_k`` the bin
+proportions.
+
+Cross-validation needs no reference distribution at all — its selling
+point over the normal scale rule — at the price of higher variance and
+``O(n^2)`` cost (fine at the paper's n = 2,000).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import InvalidSampleError, validate_sample
+from repro.core.kernel.functions import EPANECHNIKOV, KernelFunction, get_kernel
+from repro.data.domain import Interval
+
+
+def _epanechnikov_convolution(t: np.ndarray) -> np.ndarray:
+    """Self-convolution ``(K*K)(t)`` of the Epanechnikov kernel.
+
+    Supported on ``[-2, 2]``:
+    ``(K*K)(t) = (3/160)(2 - |t|)^3 (|t|^2 + 6|t| + 4)``.
+    """
+    u = np.abs(np.asarray(t, dtype=np.float64))
+    inside = u <= 2.0
+    value = (3.0 / 160.0) * (2.0 - u) ** 3 * (u * u + 6.0 * u + 4.0)
+    return np.where(inside, value, 0.0)
+
+
+def _gaussian_convolution(t: np.ndarray) -> np.ndarray:
+    """Self-convolution of the Gaussian kernel: ``N(0, 2)`` density."""
+    t = np.asarray(t, dtype=np.float64)
+    return np.exp(-0.25 * t * t) / np.sqrt(4.0 * np.pi)
+
+
+_CONVOLUTIONS = {
+    "epanechnikov": _epanechnikov_convolution,
+    "gaussian": _gaussian_convolution,
+}
+
+
+def lscv_score(
+    sample: np.ndarray,
+    bandwidth: float,
+    kernel: "KernelFunction | str" = EPANECHNIKOV,
+) -> float:
+    """The LSCV criterion at one bandwidth (lower is better)."""
+    values = validate_sample(sample)
+    resolved = get_kernel(kernel)
+    if resolved.name not in _CONVOLUTIONS:
+        raise InvalidSampleError(
+            f"LSCV implemented for {sorted(_CONVOLUTIONS)}, got {resolved.name!r}"
+        )
+    if bandwidth <= 0 or not np.isfinite(bandwidth):
+        raise InvalidSampleError(f"bandwidth must be positive, got {bandwidth}")
+    n = values.size
+    if n < 2:
+        raise InvalidSampleError("LSCV needs at least two samples")
+    convolution = _CONVOLUTIONS[resolved.name]
+    # Pairwise differences; n = 2,000 gives a 4M-entry matrix (32 MB).
+    diff = (values[:, None] - values[None, :]) / bandwidth
+    conv_sum = convolution(diff).sum()
+    pdf_sum = resolved.pdf(diff).sum() - n * float(resolved.pdf(0.0))
+    integral_term = conv_sum / (n * n * bandwidth)
+    loo_term = 2.0 * pdf_sum / (n * (n - 1) * bandwidth)
+    return float(integral_term - loo_term)
+
+
+def lscv_bandwidth(
+    sample: np.ndarray,
+    kernel: "KernelFunction | str" = EPANECHNIKOV,
+    grid: np.ndarray | None = None,
+) -> float:
+    """Bandwidth minimizing the LSCV criterion over a grid.
+
+    The default grid spans the normal-scale bandwidth by a factor of
+    30 in both directions (log-spaced), then refines once around the
+    winner.
+    """
+    values = validate_sample(sample)
+    if grid is None:
+        from repro.bandwidth.normal_scale import kernel_bandwidth
+
+        reference = kernel_bandwidth(values, kernel)
+        grid = np.geomspace(reference / 30.0, reference * 30.0, 25)
+    scores = [lscv_score(values, float(h), kernel) for h in grid]
+    best = float(grid[int(np.argmin(scores))])
+    local = np.geomspace(best / 1.6, best * 1.6, 9)
+    local_scores = [lscv_score(values, float(h), kernel) for h in local]
+    refined = float(local[int(np.argmin(local_scores))])
+    return refined if min(local_scores) < min(scores) else best
+
+
+def rudemo_score(sample: np.ndarray, bins: int, domain: Interval) -> float:
+    """Rudemo's cross-validation criterion for an equi-width histogram."""
+    values = validate_sample(sample, domain)
+    if bins < 1:
+        raise InvalidSampleError(f"need at least one bin, got {bins}")
+    n = values.size
+    if n < 2:
+        raise InvalidSampleError("cross-validation needs at least two samples")
+    h = domain.width / bins
+    counts, _ = np.histogram(values, bins=bins, range=(domain.low, domain.high))
+    proportions = counts / n
+    return float(
+        2.0 / ((n - 1) * h)
+        - (n + 1) / ((n - 1) * h) * np.square(proportions).sum()
+    )
+
+
+def rudemo_bin_count(
+    sample: np.ndarray,
+    domain: Interval,
+    candidates: np.ndarray | None = None,
+) -> int:
+    """Bin count minimizing Rudemo's criterion."""
+    values = validate_sample(sample, domain)
+    if candidates is None:
+        candidates = np.unique(
+            np.round(np.geomspace(2, max(4, values.size // 4), 30)).astype(int)
+        )
+    scores = [rudemo_score(values, int(k), domain) for k in candidates]
+    return int(candidates[int(np.argmin(scores))])

@@ -1,0 +1,134 @@
+"""Workload oracles: the best observable smoothing parameter.
+
+The paper's ``h-opt`` columns (Figs. 8, 9, 11) report the error of an
+estimator whose smoothing parameter was chosen *with knowledge of the
+query workload and the true result sizes* — not a practical method,
+but the yardstick the practical rules are judged against.
+
+The oracles here sweep a candidate grid, evaluate the mean relative
+error of each candidate estimator on a query file, and return the
+winner together with the whole sweep (the sweep itself is the paper's
+Fig. 4 / Fig. 5 material).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.base import InvalidQueryError, SelectivityEstimator
+from repro.workload.metrics import mean_relative_error
+from repro.workload.queries import QueryFile
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepResult:
+    """Outcome of an oracle sweep."""
+
+    best: float
+    best_error: float
+    candidates: tuple[float, ...]
+    errors: tuple[float, ...]
+
+    def as_rows(self) -> list[tuple[float, float]]:
+        """``(candidate, error)`` pairs, sweep order."""
+        return list(zip(self.candidates, self.errors))
+
+
+def sweep(
+    factory: Callable[[float], SelectivityEstimator],
+    candidates: Sequence[float],
+    queries: QueryFile,
+) -> SweepResult:
+    """Evaluate ``factory(candidate)`` for every candidate.
+
+    Candidates for which the factory raises are skipped (e.g. a
+    bandwidth too large for the boundary machinery); at least one
+    candidate must survive.
+    """
+    errors: list[float] = []
+    kept: list[float] = []
+    for candidate in candidates:
+        try:
+            estimator = factory(candidate)
+        except Exception:
+            continue
+        kept.append(float(candidate))
+        errors.append(mean_relative_error(estimator, queries))
+    if not kept:
+        raise InvalidQueryError("no oracle candidate produced a usable estimator")
+    best_index = int(np.argmin(errors))
+    return SweepResult(
+        best=kept[best_index],
+        best_error=errors[best_index],
+        candidates=tuple(kept),
+        errors=tuple(errors),
+    )
+
+
+def default_bin_grid(max_bins: int = 2_000, points: int = 40) -> np.ndarray:
+    """Geometric grid of candidate bin counts from 1 to ``max_bins``."""
+    if max_bins < 1:
+        raise InvalidQueryError(f"max_bins must be >= 1, got {max_bins}")
+    grid = np.unique(
+        np.round(np.geomspace(1, max_bins, num=points)).astype(int)
+    )
+    return grid
+
+
+def oracle_bin_count(
+    factory: Callable[[int], SelectivityEstimator],
+    queries: QueryFile,
+    candidates: Sequence[int] | None = None,
+) -> SweepResult:
+    """Best-observed number of bins for a histogram factory.
+
+    ``factory(k)`` must build a ``k``-bin histogram estimator.
+    """
+    if candidates is None:
+        candidates = default_bin_grid()
+    return sweep(lambda k: factory(int(round(k))), [float(c) for c in candidates], queries)
+
+
+def default_bandwidth_grid(
+    reference: float, span: float = 30.0, points: int = 40
+) -> np.ndarray:
+    """Log-spaced bandwidth candidates around a reference value.
+
+    Covers ``reference / span`` to ``reference * span`` — wide enough
+    that the normal scale starting point never pins the oracle.
+    """
+    if reference <= 0 or span <= 1:
+        raise InvalidQueryError(
+            f"need positive reference and span > 1, got {reference}, {span}"
+        )
+    return np.geomspace(reference / span, reference * span, num=points)
+
+
+def oracle_bandwidth(
+    factory: Callable[[float], SelectivityEstimator],
+    queries: QueryFile,
+    candidates: Sequence[float],
+    refine: int = 1,
+) -> SweepResult:
+    """Best-observed kernel bandwidth for an estimator factory.
+
+    After the initial grid sweep, ``refine`` extra sweeps zoom into the
+    neighbourhood of the current best candidate.
+    """
+    result = sweep(factory, candidates, queries)
+    for _ in range(max(0, refine)):
+        local = np.geomspace(result.best / 1.8, result.best * 1.8, num=9)
+        refined = sweep(factory, local, queries)
+        if refined.best_error < result.best_error:
+            merged_candidates = result.candidates + refined.candidates
+            merged_errors = result.errors + refined.errors
+            result = SweepResult(
+                best=refined.best,
+                best_error=refined.best_error,
+                candidates=merged_candidates,
+                errors=merged_errors,
+            )
+    return result

@@ -1,0 +1,135 @@
+"""The direct plug-in rule (paper §4.3).
+
+The normal scale rule replaces the unknown roughness ``R(f')`` /
+``R(f'')`` with its value under a fitted Normal — fine for smooth
+unimodal data, badly oversmoothed otherwise.  The direct plug-in rule
+instead *estimates the functional from the sample itself*, iterating:
+
+1. Start from the normal scale smoothing parameter.
+2. Build a pilot density estimate with the current parameter and
+   compute the roughness functional of its derivative.
+3. Plug the estimated functional into the AMISE-optimal formula to get
+   the next smoothing parameter.
+
+Two or three iterations suffice (paper: "In general, two or three
+iteration steps are sufficient"); the influence of the initial normal
+scale guess fades with each step.
+
+Pilot derivative estimation uses a Gaussian KDE (analytic
+derivatives); Epanechnikov bandwidths are converted to equivalent
+Gaussian ones through the canonical-kernel rescaling.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bandwidth.amise import optimal_bandwidth, optimal_bin_width
+from repro.bandwidth.normal_scale import histogram_bin_width, kernel_bandwidth
+from repro.bandwidth.scale import to_gaussian_bandwidth
+from repro.core.base import InvalidSampleError, validate_sample
+from repro.core.kernel.density import KernelDensity
+from repro.core.kernel.functions import KernelFunction, get_kernel
+from repro.data.domain import Interval
+
+#: Number of iteration steps used in the paper's experiments ("direct
+#: plug-in rule (with 2 iteration steps)", §5.2.5).
+PAPER_STEPS = 2
+
+
+#: Above this sample size the roughness functionals switch to the
+#: linear-binned KDE, whose grid evaluation cost is independent of n.
+BINNED_THRESHOLD = 5_000
+
+
+def _estimate_roughness(
+    sample: np.ndarray,
+    pilot_gaussian_bandwidth: float,
+    order: int,
+    domain: Interval | None,
+    grid_points: int,
+) -> float:
+    if sample.size > BINNED_THRESHOLD:
+        from repro.core.kernel.binned import BinnedKernelDensity
+
+        kde = BinnedKernelDensity(
+            sample, pilot_gaussian_bandwidth, domain, grid_points=grid_points
+        )
+        return kde.roughness(order)
+    kde = KernelDensity(sample, pilot_gaussian_bandwidth, domain)
+    return kde.roughness(order, points=grid_points)
+
+
+def plugin_bandwidth(
+    sample: np.ndarray,
+    steps: int = PAPER_STEPS,
+    kernel: "KernelFunction | str" = "epanechnikov",
+    domain: Interval | None = None,
+    grid_points: int = 512,
+) -> float:
+    """Direct plug-in kernel bandwidth.
+
+    Parameters
+    ----------
+    sample:
+        Sample set.
+    steps:
+        Number of refinement iterations (>= 1); the paper uses 2.
+    kernel:
+        Target kernel of the final selectivity estimator.
+    domain:
+        Optional domain bounding the functional-estimation grid.
+    grid_points:
+        Grid resolution of the numerical roughness integral.
+    """
+    if steps < 1:
+        raise InvalidSampleError(f"plug-in needs at least one step, got {steps}")
+    values = validate_sample(sample, domain)
+    resolved = get_kernel(kernel)
+    h = kernel_bandwidth(values, resolved)
+    for _ in range(steps):
+        pilot = to_gaussian_bandwidth(h) if resolved.name != "gaussian" else h
+        roughness_f2 = _estimate_roughness(values, pilot, 2, domain, grid_points)
+        if roughness_f2 <= 0 or not math.isfinite(roughness_f2):
+            # Flat pilot estimate (e.g. one repeated value): keep the
+            # current bandwidth rather than exploding it.
+            break
+        h = optimal_bandwidth(values.size, roughness_f2, resolved)
+    return h
+
+
+def plugin_bin_width(
+    sample: np.ndarray,
+    steps: int = PAPER_STEPS,
+    domain: Interval | None = None,
+    grid_points: int = 512,
+) -> float:
+    """Direct plug-in equi-width bin width (functional ``R(f')``)."""
+    if steps < 1:
+        raise InvalidSampleError(f"plug-in needs at least one step, got {steps}")
+    values = validate_sample(sample, domain)
+    h = histogram_bin_width(values)
+    for _ in range(steps):
+        # A histogram bin width is not a kernel bandwidth; reuse it as
+        # the pilot's effective smoothing scale.  The bin width and the
+        # Epanechnikov bandwidth play the same "impact range" role, so
+        # the canonical conversion applies.
+        pilot = to_gaussian_bandwidth(h)
+        roughness_f1 = _estimate_roughness(values, pilot, 1, domain, grid_points)
+        if roughness_f1 <= 0 or not math.isfinite(roughness_f1):
+            break
+        h = optimal_bin_width(values.size, roughness_f1)
+    return h
+
+
+def plugin_bin_count(
+    sample: np.ndarray,
+    domain: Interval,
+    steps: int = PAPER_STEPS,
+    grid_points: int = 512,
+) -> int:
+    """Direct plug-in number of equi-width bins."""
+    width = plugin_bin_width(sample, steps, domain, grid_points)
+    return max(1, int(np.ceil(domain.width / width)))

@@ -1,0 +1,190 @@
+"""Abstract interfaces for selectivity and density estimators.
+
+The paper (§2) frames every method the same way: given a set of ``n``
+samples drawn from a relation's attribute, build an estimator once and
+answer many range queries ``Q(a, b)`` with an approximation of the
+*distribution selectivity* ``sigma(a, b) = F(b) - F(a)``.
+
+Two abstractions capture that contract:
+
+:class:`SelectivityEstimator`
+    Anything that can map a query range to an estimated selectivity in
+    ``[0, 1]``.  This is the interface the experiment harness and a
+    query optimizer consume.
+
+:class:`DensityEstimator`
+    Anything that can additionally evaluate an estimated probability
+    density function pointwise.  Histograms and kernel estimators are
+    density estimators; pure sampling is only a selectivity estimator.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.data.domain import Interval
+
+
+class EstimatorError(Exception):
+    """Base class for all errors raised by ``repro`` estimators."""
+
+
+class InvalidSampleError(EstimatorError):
+    """The sample set handed to an estimator is unusable.
+
+    Raised for empty samples, samples containing NaN/inf, or samples
+    that fall outside the declared attribute domain.
+    """
+
+
+class InvalidQueryError(EstimatorError):
+    """A query range is malformed (``a > b``, NaN endpoints, ...)."""
+
+
+def validate_sample(sample: np.ndarray, domain: "Interval | None" = None) -> np.ndarray:
+    """Validate and canonicalize a sample set.
+
+    Parameters
+    ----------
+    sample:
+        One-dimensional array-like of attribute values.
+    domain:
+        Optional attribute domain; when given, every sample value must
+        lie inside it.
+
+    Returns
+    -------
+    numpy.ndarray
+        A one-dimensional, C-contiguous ``float64`` copy of the sample.
+
+    Raises
+    ------
+    InvalidSampleError
+        If the sample is empty, not one-dimensional, contains
+        non-finite values, or violates the domain bounds.
+    """
+    values = np.asarray(sample, dtype=np.float64)
+    if values.ndim != 1:
+        raise InvalidSampleError(f"sample must be one-dimensional, got shape {values.shape}")
+    if values.size == 0:
+        raise InvalidSampleError("sample must contain at least one value")
+    if not np.all(np.isfinite(values)):
+        raise InvalidSampleError("sample contains NaN or infinite values")
+    if domain is not None:
+        low, high = domain.low, domain.high
+        if values.min() < low or values.max() > high:
+            raise InvalidSampleError(
+                f"sample values fall outside the domain [{low}, {high}]: "
+                f"observed range [{values.min()}, {values.max()}]"
+            )
+    return np.ascontiguousarray(values)
+
+
+def validate_query(a: float, b: float) -> tuple[float, float]:
+    """Validate a query range and return it as a ``(a, b)`` float pair.
+
+    Raises
+    ------
+    InvalidQueryError
+        If either endpoint is non-finite or ``a > b``.
+    """
+    a = float(a)
+    b = float(b)
+    if not (np.isfinite(a) and np.isfinite(b)):
+        raise InvalidQueryError(f"query endpoints must be finite, got [{a}, {b}]")
+    if a > b:
+        raise InvalidQueryError(f"query range is empty: a={a} > b={b}")
+    return a, b
+
+
+class SelectivityEstimator(abc.ABC):
+    """A built statistic that estimates range-query selectivities.
+
+    Implementations are immutable after construction: they are built
+    once from a sample (the cheap statistics-collection step a database
+    system runs at ANALYZE time) and then answer arbitrarily many
+    queries.
+    """
+
+    @property
+    @abc.abstractmethod
+    def sample_size(self) -> int:
+        """Number of samples the estimator was built from."""
+
+    @abc.abstractmethod
+    def selectivity(self, a: float, b: float) -> float:
+        """Estimate the distribution selectivity of ``Q(a, b)``.
+
+        Parameters
+        ----------
+        a, b:
+            Query range endpoints with ``a <= b``.  The query retrieves
+            records ``r`` with ``a <= r.A <= b`` (paper §2).
+
+        Returns
+        -------
+        float
+            Estimated selectivity, clipped to ``[0, 1]``.
+        """
+
+    def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`selectivity` over parallel endpoint arrays.
+
+        The default implementation loops; estimators override it when a
+        faster vectorized path exists.
+        """
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.shape != b.shape:
+            raise InvalidQueryError(f"endpoint arrays differ in shape: {a.shape} vs {b.shape}")
+        out = np.empty(a.shape, dtype=np.float64)
+        flat_a, flat_b, flat_out = a.ravel(), b.ravel(), out.ravel()
+        for i in range(flat_a.size):
+            flat_out[i] = self.selectivity(flat_a[i], flat_b[i])
+        return out
+
+    def estimate_result_size(self, a: float, b: float, relation_size: int) -> float:
+        """Estimate the *instance* result size ``N * sigma(a, b)`` (paper §2)."""
+        if relation_size < 0:
+            raise InvalidQueryError(f"relation size must be non-negative, got {relation_size}")
+        return self.selectivity(a, b) * relation_size
+
+
+class DensityEstimator(SelectivityEstimator):
+    """A selectivity estimator backed by an explicit density estimate."""
+
+    @abc.abstractmethod
+    def density(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the estimated PDF at each point of ``x``.
+
+        Parameters
+        ----------
+        x:
+            Array of evaluation points.
+
+        Returns
+        -------
+        numpy.ndarray
+            Estimated density values, same shape as ``x``.  Values may
+            be negative for estimators that are consistent but not
+            proper densities (boundary-kernel methods, paper §3.2.1).
+        """
+
+    def cdf(self, x: np.ndarray, *, origin: float | None = None) -> np.ndarray:
+        """Evaluate the estimated CDF ``F(x) = integral of density``.
+
+        The default implementation integrates via :meth:`selectivity`
+        from ``origin`` (the estimator's domain low end when ``None``).
+        """
+        x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        if origin is None:
+            origin = getattr(self, "domain", None)
+            if origin is None:
+                raise InvalidQueryError("cdf() needs an origin for estimators without a domain")
+            origin = origin.low
+        lo = np.full(x.shape, float(origin))
+        return self.selectivities(lo, np.maximum(x, origin))

@@ -1,0 +1,47 @@
+"""Histogram selectivity estimators (paper §3.1).
+
+All histogram policies share one piece of machinery — a piecewise
+constant density with the overlap integral of the paper's eq. (4) —
+and differ only in how bin boundaries are chosen:
+
+* :class:`EquiWidthHistogram` — equal bin widths over the whole domain.
+* :class:`EquiDepthHistogram` — equal sample counts per bin.
+* :class:`MaxDiffHistogram` — boundaries in the largest gaps between
+  adjacent sample values.
+* :class:`UniformEstimator` — the one-bin histogram (System R's
+  uniform assumption).
+* :class:`AverageShiftedHistogram` — the mean of several shifted
+  equi-width histograms.
+
+Two further families the paper cites as the state of the art are
+implemented for completeness of the comparison:
+
+* :class:`VOptimalHistogram` — SSE-optimal boundaries by dynamic
+  programming (refs [2]/[7]).
+* :class:`WaveletHistogram` — Haar-compressed cumulative frequencies
+  (ref [4]).
+* :class:`EndBiasedHistogram` — exact top-k frequencies plus a uniform
+  remainder (for duplicate-heavy attributes).
+"""
+
+from repro.core.histogram.ash import AverageShiftedHistogram
+from repro.core.histogram.bins import PiecewiseConstantDensity
+from repro.core.histogram.end_biased import EndBiasedHistogram
+from repro.core.histogram.equi_depth import EquiDepthHistogram
+from repro.core.histogram.equi_width import EquiWidthHistogram
+from repro.core.histogram.max_diff import MaxDiffHistogram
+from repro.core.histogram.uniform import UniformEstimator
+from repro.core.histogram.v_optimal import VOptimalHistogram
+from repro.core.histogram.wavelet import WaveletHistogram
+
+__all__ = [
+    "AverageShiftedHistogram",
+    "EndBiasedHistogram",
+    "EquiDepthHistogram",
+    "EquiWidthHistogram",
+    "MaxDiffHistogram",
+    "PiecewiseConstantDensity",
+    "UniformEstimator",
+    "VOptimalHistogram",
+    "WaveletHistogram",
+]

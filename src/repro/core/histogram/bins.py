@@ -1,0 +1,196 @@
+"""Shared histogram machinery: piecewise constant densities.
+
+Every histogram in the paper reduces to the same estimator once its
+boundaries are fixed (paper eq. 4):
+
+.. math::
+
+   \\hat\\sigma_H(a, b) = \\frac{1}{n} \\sum_i \\frac{n_i}{h_i}
+                          \\cdot \\psi_i(a, b)
+
+where ``psi_i`` is the length of the intersection between bin ``i``
+and the query range.  :class:`PiecewiseConstantDensity` implements that
+formula through the equivalent cumulative form ``F(b) - F(a)`` (the CDF
+of a piecewise constant density is piecewise linear, so a single
+``np.interp`` evaluates whole query batches).
+
+Zero-width bins — which arise when quantile boundaries coincide on
+data with heavy duplicates — are carried as explicit *point masses*
+so no probability mass is silently dropped.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import DensityEstimator, InvalidSampleError, validate_query
+from repro.data.domain import Interval
+
+
+class PiecewiseConstantDensity(DensityEstimator):
+    """A histogram density with optional point masses.
+
+    Parameters
+    ----------
+    boundaries:
+        Bin edges ``c_0 <= c_1 <= ... <= c_k`` (non-decreasing).  Pairs
+        of equal consecutive edges declare a zero-width bin whose count
+        becomes a point mass at that position.
+    counts:
+        Number of samples per bin, length ``k``.
+    sample_size:
+        Total number of samples ``n`` the histogram was built from.
+        May exceed ``counts.sum()`` if some samples fall outside the
+        binned range (their mass is then assigned zero density).
+    domain:
+        Optional attribute domain, used for CDF origins and reporting.
+    """
+
+    def __init__(
+        self,
+        boundaries: np.ndarray,
+        counts: np.ndarray,
+        sample_size: int,
+        domain: Interval | None = None,
+    ) -> None:
+        edges = np.asarray(boundaries, dtype=np.float64)
+        counts = np.asarray(counts, dtype=np.float64)
+        if edges.ndim != 1 or counts.ndim != 1 or edges.size != counts.size + 1:
+            raise InvalidSampleError(
+                f"need k+1 boundaries for k counts, got {edges.size} and {counts.size}"
+            )
+        if counts.size == 0:
+            raise InvalidSampleError("histogram needs at least one bin")
+        if np.any(np.diff(edges) < 0):
+            raise InvalidSampleError("bin boundaries must be non-decreasing")
+        if np.any(counts < 0):
+            raise InvalidSampleError("bin counts must be non-negative")
+        if sample_size <= 0:
+            raise InvalidSampleError(f"sample size must be positive, got {sample_size}")
+        if counts.sum() > sample_size + 1e-9:
+            raise InvalidSampleError(
+                f"bin counts sum to {counts.sum()}, more than the sample size {sample_size}"
+            )
+
+        # Canonicalize: edges closer than the smallest normal float are
+        # snapped together — a bin that narrow would overflow
+        # count / width, and is a point mass in all but name.
+        squeeze = np.diff(edges) > np.finfo(np.float64).tiny
+        keep = np.concatenate(([True], squeeze))
+        segment = np.maximum.accumulate(np.where(keep, np.arange(edges.size), 0))
+        edges = edges[segment]
+        widths = np.diff(edges)
+        degenerate = widths == 0.0
+
+        # Zero-width bins become point masses; the rest stay bins.  With
+        # non-decreasing edges there is exactly one positive-width bin
+        # between each pair of consecutive *distinct* edges, so the
+        # non-degenerate counts align 1:1 with np.unique(edges) bins.
+        self._point_positions = edges[:-1][degenerate]
+        self._point_masses = counts[degenerate] / sample_size
+        bulk_counts = counts[~degenerate]
+        bulk_edges = np.unique(edges)
+        if bulk_edges.size < 2:
+            # All mass is concentrated in point masses; keep a token
+            # empty bin so the bulk machinery stays well-formed.
+            bulk_edges = np.array([edges[0], edges[0] + 1.0])
+            bulk_counts = np.zeros(1)
+
+        self._edges = bulk_edges
+        self._counts = bulk_counts
+        self._n = int(sample_size)
+        self._domain = domain
+        self._widths = np.diff(self._edges)
+        self._density = self._counts / (self._n * self._widths)
+        # CDF of the bulk at every edge (point masses handled separately).
+        self._cdf_at_edges = np.concatenate([[0.0], np.cumsum(self._counts)]) / self._n
+        for array in (
+            self._edges,
+            self._counts,
+            self._widths,
+            self._density,
+            self._cdf_at_edges,
+            self._point_positions,
+            self._point_masses,
+        ):
+            array.flags.writeable = False
+
+    @property
+    def sample_size(self) -> int:
+        return self._n
+
+    @property
+    def domain(self) -> Interval | None:
+        """Attribute domain, if declared."""
+        return self._domain
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """Strictly increasing bin edges of the bulk part (read-only)."""
+        return self._edges
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-bin sample counts of the bulk part (read-only)."""
+        return self._counts
+
+    @property
+    def bin_count(self) -> int:
+        """Number of (non-degenerate) bins."""
+        return int(self._counts.size)
+
+    @property
+    def point_masses(self) -> list[tuple[float, float]]:
+        """``(position, probability)`` pairs for degenerate bins."""
+        return list(zip(self._point_positions.tolist(), self._point_masses.tolist()))
+
+    def density(self, x: np.ndarray) -> np.ndarray:
+        """Histogram density ``n_i / (n * h_i)`` at each point.
+
+        Point masses are excluded (a Dirac mass has no finite density);
+        :meth:`selectivity` accounts for them.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        idx = np.clip(np.searchsorted(self._edges, x, side="right") - 1, 0, self._counts.size - 1)
+        values = self._density[idx]
+        inside = (x >= self._edges[0]) & (x <= self._edges[-1])
+        return np.where(inside, values, 0.0)
+
+    def _bulk_cdf(self, x: np.ndarray) -> np.ndarray:
+        """CDF of the bulk (non-point-mass) part; piecewise linear."""
+        return np.interp(x, self._edges, self._cdf_at_edges)
+
+    def selectivity(self, a: float, b: float) -> float:
+        a, b = validate_query(a, b)
+        return float(self.selectivities(np.array([a]), np.array([b]))[0])
+
+    def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        result = self._bulk_cdf(b) - self._bulk_cdf(a)
+        if self._point_positions.size:
+            # Closed query range: a point mass at an endpoint counts fully.
+            inside = (self._point_positions >= a[..., None]) & (
+                self._point_positions <= b[..., None]
+            )
+            result = result + inside @ self._point_masses
+        return np.clip(result, 0.0, 1.0)
+
+    def total_mass(self) -> float:
+        """Probability mass represented by the histogram (<= 1).
+
+        Less than 1 when some samples fell outside the binned range
+        (possible for sample-bounded policies queried about a wider
+        domain).
+        """
+        return float(self._cdf_at_edges[-1] + self._point_masses.sum())
+
+
+def bin_samples(sample: np.ndarray, edges: np.ndarray) -> np.ndarray:
+    """Count samples per bin for strictly increasing ``edges``.
+
+    Uses half-open bins ``[c_i, c_{i+1})`` with the last bin closed,
+    matching ``numpy.histogram`` semantics.
+    """
+    counts, _ = np.histogram(sample, bins=edges)
+    return counts.astype(np.float64)

@@ -1,0 +1,166 @@
+"""Adaptive-bandwidth kernel estimation (Abramson; Silverman ch. 5).
+
+The paper's kernel estimator uses one global bandwidth ``h`` — the
+very parameter its §4 is about.  The statistics literature it cites
+(Silverman 1986, ch. 5) offers the next step: *sample-point adaptive*
+bandwidths
+
+.. math::
+
+   h_i = h \\cdot \\big( \\tilde f(X_i) / g \\big)^{-1/2}
+
+where ``f~`` is a pilot density estimate and ``g`` its geometric mean
+over the samples (Abramson's square-root law).  Dense regions get
+narrow kernels, sparse tails get wide ones — exactly what the paper's
+skewed files (exponential, census) call for.
+
+Selectivity estimation carries over unchanged: each sample contributes
+``C((b - X_i)/h_i) - C((a - X_i)/h_i)`` with its own ``h_i``, so the
+estimator stays exact (no numerical integration) and still integrates
+to one over the real line.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import (
+    DensityEstimator,
+    InvalidSampleError,
+    validate_query,
+    validate_sample,
+)
+from repro.core.kernel.density import KernelDensity
+from repro.core.kernel.estimator import _validate_bandwidth
+from repro.core.kernel.functions import EPANECHNIKOV, KernelFunction, get_kernel
+from repro.data.domain import Interval
+
+#: Abramson's sensitivity exponent: ``h_i ~ pilot_density^(-alpha)``.
+ABRAMSON_ALPHA = 0.5
+
+
+class AdaptiveKernelEstimator(DensityEstimator):
+    """Sample-point adaptive kernel selectivity estimator.
+
+    Parameters
+    ----------
+    sample:
+        Sample set.
+    bandwidth:
+        Global bandwidth scale ``h`` (the per-sample bandwidths are
+        modulated around it).
+    kernel:
+        Kernel function; Epanechnikov by default.
+    domain:
+        Optional attribute domain.  When given, samples near the
+        boundaries are reflected (the reflection treatment carries
+        over to per-sample bandwidths).
+    pilot_bandwidth:
+        Gaussian bandwidth of the pilot density estimate; defaults to
+        the canonical conversion of ``bandwidth``.
+    alpha:
+        Sensitivity exponent in ``(0, 1]``; 0.5 is Abramson's value.
+    """
+
+    def __init__(
+        self,
+        sample: np.ndarray,
+        bandwidth: float,
+        kernel: "KernelFunction | str" = EPANECHNIKOV,
+        domain: Interval | None = None,
+        *,
+        pilot_bandwidth: float | None = None,
+        alpha: float = ABRAMSON_ALPHA,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise InvalidSampleError(f"alpha must be in (0, 1], got {alpha}")
+        values = np.sort(validate_sample(sample, domain))
+        h = _validate_bandwidth(bandwidth)
+        self._kernel = get_kernel(kernel)
+        self._domain = domain
+        self._n = int(values.size)
+
+        if pilot_bandwidth is None:
+            from repro.bandwidth.scale import to_gaussian_bandwidth
+
+            pilot_bandwidth = (
+                to_gaussian_bandwidth(h) if self._kernel.name != "gaussian" else h
+            )
+        pilot = KernelDensity(values, _validate_bandwidth(pilot_bandwidth))
+        density_at_samples = np.maximum(pilot.density(values), 1e-300)
+        log_geometric_mean = float(np.mean(np.log(density_at_samples)))
+        factors = (density_at_samples / np.exp(log_geometric_mean)) ** (-alpha)
+        bandwidths = h * factors
+
+        if domain is not None:
+            # Reflection treatment with per-sample reach.
+            reach = bandwidths * self._kernel.support
+            left = values < domain.low + reach
+            right = values > domain.high - reach
+            values = np.concatenate(
+                [values, 2.0 * domain.low - values[left], 2.0 * domain.high - values[right]]
+            )
+            bandwidths = np.concatenate([bandwidths, bandwidths[left], bandwidths[right]])
+            order = np.argsort(values, kind="stable")
+            values = values[order]
+            bandwidths = bandwidths[order]
+
+        self._points = values
+        self._bandwidths = bandwidths
+        self._h = h
+        for array in (self._points, self._bandwidths):
+            array.flags.writeable = False
+
+    @property
+    def sample_size(self) -> int:
+        return self._n
+
+    @property
+    def domain(self) -> Interval | None:
+        """Attribute domain, if declared."""
+        return self._domain
+
+    @property
+    def global_bandwidth(self) -> float:
+        """The global scale ``h``."""
+        return self._h
+
+    @property
+    def bandwidths(self) -> np.ndarray:
+        """Per-sample bandwidths (read-only; includes reflected copies)."""
+        return self._bandwidths
+
+    def selectivity(self, a: float, b: float) -> float:
+        a, b = validate_query(a, b)
+        return float(self.selectivities(np.array([a]), np.array([b]))[0])
+
+    def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if self._domain is not None:
+            a = np.clip(a, self._domain.low, self._domain.high)
+            b = np.clip(b, self._domain.low, self._domain.high)
+        out = np.empty(np.broadcast(a, b).shape, dtype=np.float64)
+        flat_a, flat_b, flat_out = np.ravel(a), np.ravel(b), out.ravel()
+        for j in range(flat_a.size):
+            qa, qb = flat_a[j], flat_b[j]
+            mass = self._kernel.mass_between(
+                (qa - self._points) / self._bandwidths,
+                (qb - self._points) / self._bandwidths,
+            )
+            flat_out[j] = mass.sum() / self._n
+        return np.clip(out, 0.0, 1.0)
+
+    def density(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        out = np.empty(x.shape, dtype=np.float64)
+        flat_x, flat_out = x.ravel(), out.ravel()
+        for j, point in enumerate(flat_x):
+            contributions = self._kernel.pdf(
+                (point - self._points) / self._bandwidths
+            ) / self._bandwidths
+            flat_out[j] = contributions.sum() / self._n
+        if self._domain is not None:
+            inside = (x >= self._domain.low) & (x <= self._domain.high)
+            out = np.where(inside, out, 0.0)
+        return out

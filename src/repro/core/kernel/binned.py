@@ -1,0 +1,142 @@
+"""Linear-binned kernel density evaluation (Wand 1994).
+
+Plug-in rules and change-point detection evaluate density derivatives
+on grids; done exactly, each evaluation touches every sample.  The
+standard engineering answer is *linear binning*: spread each sample's
+unit weight over its two neighbouring grid points proportionally to
+proximity, then evaluate the KDE as a discrete convolution of the
+grid-weight vector with a sampled kernel — ``O(G * W)`` (grid times
+kernel width) instead of ``O(G * n)``, with approximation error
+``O(delta^2)`` in the grid step ``delta``.
+
+:class:`BinnedKernelDensity` mirrors the exact
+:class:`~repro.core.kernel.density.KernelDensity` API (density +
+derivatives + roughness) so it can drop into the plug-in pipeline for
+large samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import InvalidSampleError, validate_sample
+from repro.core.kernel.density import _DERIVATIVES
+from repro.core.kernel.estimator import _validate_bandwidth
+from repro.data.domain import Interval
+
+#: Gaussian effective support, in bandwidths, for the convolution stencil.
+_REACH = 9.0
+
+
+def linear_bin(sample: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Linear-binning weights of a sample on an equispaced grid.
+
+    Each sample splits its unit mass between the two enclosing grid
+    points, proportionally to proximity; samples outside the grid
+    clamp to the end points.  The weights sum to ``len(sample)``.
+    """
+    grid = np.asarray(grid, dtype=np.float64)
+    if grid.ndim != 1 or grid.size < 2:
+        raise InvalidSampleError("grid must be 1-D with at least two points")
+    step = grid[1] - grid[0]
+    if step <= 0 or not np.allclose(np.diff(grid), step):
+        raise InvalidSampleError("grid must be equispaced and increasing")
+    position = np.clip((np.asarray(sample, dtype=np.float64) - grid[0]) / step, 0, grid.size - 1)
+    left = np.floor(position).astype(np.int64)
+    left = np.minimum(left, grid.size - 2)
+    fraction = position - left
+    weights = np.zeros(grid.size, dtype=np.float64)
+    np.add.at(weights, left, 1.0 - fraction)
+    np.add.at(weights, left + 1, fraction)
+    return weights
+
+
+class BinnedKernelDensity:
+    """Gaussian KDE with derivatives, evaluated via linear binning.
+
+    Parameters
+    ----------
+    sample:
+        Sample set.
+    bandwidth:
+        Gaussian bandwidth.
+    domain:
+        Optional domain bounding the grid; otherwise the sample range
+        padded by a few bandwidths.
+    grid_points:
+        Grid resolution; accuracy is ``O((range / grid_points)^2)``.
+    """
+
+    def __init__(
+        self,
+        sample: np.ndarray,
+        bandwidth: float,
+        domain: Interval | None = None,
+        grid_points: int = 1_024,
+    ) -> None:
+        if grid_points < 16:
+            raise InvalidSampleError(f"need at least 16 grid points, got {grid_points}")
+        values = validate_sample(sample, domain)
+        self._g = _validate_bandwidth(bandwidth)
+        if domain is not None:
+            lo, hi = domain.low, domain.high
+        else:
+            pad = 4.0 * self._g
+            lo, hi = values.min() - pad, values.max() + pad
+        self._grid = np.linspace(lo, hi, grid_points)
+        self._weights = linear_bin(values, self._grid)
+        self._n = int(values.size)
+        self._step = self._grid[1] - self._grid[0]
+        self._cache: dict[int, np.ndarray] = {}
+
+    @property
+    def bandwidth(self) -> float:
+        """The Gaussian bandwidth."""
+        return self._g
+
+    @property
+    def sample_size(self) -> int:
+        """Number of samples."""
+        return self._n
+
+    @property
+    def grid(self) -> np.ndarray:
+        """The evaluation grid."""
+        return self._grid
+
+    def _on_grid(self, order: int) -> np.ndarray:
+        """Derivative values on the whole grid (cached per order)."""
+        if order not in _DERIVATIVES:
+            raise InvalidSampleError(
+                f"derivative order must be in {sorted(_DERIVATIVES)}, got {order}"
+            )
+        if order not in self._cache:
+            half = int(np.ceil(_REACH * self._g / self._step))
+            offsets = np.arange(-half, half + 1) * self._step
+            stencil = _DERIVATIVES[order](offsets / self._g)
+            full = np.convolve(self._weights, stencil, mode="same")
+            self._cache[order] = full / (self._n * self._g ** (order + 1))
+        return self._cache[order]
+
+    def derivative_on_grid(self, order: int = 0) -> np.ndarray:
+        """The ``order``-th KDE derivative at every grid point."""
+        return self._on_grid(order).copy()
+
+    def derivative(self, x: np.ndarray, order: int = 0) -> np.ndarray:
+        """Derivative at arbitrary points (linear interpolation)."""
+        x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        return np.interp(x, self._grid, self._on_grid(order))
+
+    def density(self, x: np.ndarray) -> np.ndarray:
+        """The KDE itself."""
+        return self.derivative(x, order=0)
+
+    def roughness(self, order: int, points: int | None = None) -> float:
+        """``R(f^(order))`` by trapezoid integration over the grid.
+
+        ``points`` is accepted for API compatibility with the exact
+        :class:`KernelDensity` and ignored (the grid is fixed at
+        construction).
+        """
+        values = self._on_grid(order)
+        return float(np.trapezoid(values * values, self._grid))

@@ -1,0 +1,64 @@
+"""Pure sampling: the baseline selectivity estimator.
+
+The fraction of sample points falling inside the query range is a
+consistent estimator of the selectivity with convergence rate
+``O(n^(-1/2))`` (paper §2) — the slowest of all methods compared, which
+is exactly why the paper builds histogram and kernel estimators on top
+of the same sample.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import SelectivityEstimator, validate_query, validate_sample
+from repro.data.domain import Interval
+
+
+class SamplingEstimator(SelectivityEstimator):
+    """Estimate ``sigma(a, b)`` as ``#{X_i in [a, b]} / n``.
+
+    Parameters
+    ----------
+    sample:
+        The sample set drawn from the relation.
+    domain:
+        Optional attribute domain for input validation.
+    """
+
+    def __init__(self, sample: np.ndarray, domain: Interval | None = None) -> None:
+        values = validate_sample(sample, domain)
+        self._sorted = np.sort(values)
+        self._domain = domain
+
+    @property
+    def sample_size(self) -> int:
+        return int(self._sorted.size)
+
+    @property
+    def domain(self) -> Interval | None:
+        """Attribute domain the estimator was declared over, if any."""
+        return self._domain
+
+    def selectivity(self, a: float, b: float) -> float:
+        a, b = validate_query(a, b)
+        lo = np.searchsorted(self._sorted, a, side="left")
+        hi = np.searchsorted(self._sorted, b, side="right")
+        return float(hi - lo) / self._sorted.size
+
+    def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        lo = np.searchsorted(self._sorted, a, side="left")
+        hi = np.searchsorted(self._sorted, b, side="right")
+        return (hi - lo) / self._sorted.size
+
+    def standard_error(self, selectivity: float) -> float:
+        """Binomial standard error of the estimate at a true selectivity.
+
+        Documents the ``O(n^(-1/2))`` convergence rate the paper cites:
+        ``sqrt(sigma * (1 - sigma) / n)``.
+        """
+        if not 0.0 <= selectivity <= 1.0:
+            raise ValueError(f"selectivity must be in [0, 1], got {selectivity}")
+        return float(np.sqrt(selectivity * (1.0 - selectivity) / self.sample_size))

@@ -1,0 +1,26 @@
+"""Data substrate: attribute domains, data files and relations.
+
+The paper's test environment (§5.1.1) uses attribute domains that are
+integer grids ``[0, 2**p - 1]`` and eight families of data files —
+three synthetic distributions (Uniform, Normal, Exponential) plus five
+"real" files derived from TIGER/Line and census data.  The real files
+are not redistributable, so :mod:`repro.data.spatial` and
+:mod:`repro.data.census` generate faithful synthetic stand-ins (see
+DESIGN.md §3 for the substitution argument).
+
+:mod:`repro.data.registry` exposes every file of the paper's Table 2 by
+its paper name, e.g. ``load("n(20)")`` or ``load("arap1")``.
+"""
+
+from repro.data.domain import IntegerDomain, Interval
+from repro.data.registry import dataset_names, load, table2
+from repro.data.relation import Relation
+
+__all__ = [
+    "IntegerDomain",
+    "Interval",
+    "Relation",
+    "dataset_names",
+    "load",
+    "table2",
+]

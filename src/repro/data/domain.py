@@ -1,0 +1,126 @@
+"""Attribute domains.
+
+The paper studies *metric* attributes whose domain is an interval of
+the real line, instantiated in the experiments as the integer grid
+``[0, 2**p - 1]`` where the exponent ``p`` controls the domain
+cardinality (paper §5.1.1).  :class:`Interval` models the continuous
+view every estimator works on; :class:`IntegerDomain` adds the grid
+semantics (cardinality, snapping real values to grid points).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+
+@dataclasses.dataclass(frozen=True)
+class Interval:
+    """A closed real interval ``[low, high]``.
+
+    This is the continuous attribute domain of paper §2: range queries
+    and density estimators are defined over it.
+    """
+
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if not (np.isfinite(self.low) and np.isfinite(self.high)):
+            raise ValueError(f"interval bounds must be finite, got [{self.low}, {self.high}]")
+        if self.low >= self.high:
+            raise ValueError(f"interval must have positive width, got [{self.low}, {self.high}]")
+
+    @property
+    def width(self) -> float:
+        """Length of the interval."""
+        return self.high - self.low
+
+    @property
+    def center(self) -> float:
+        """Midpoint of the interval."""
+        return 0.5 * (self.low + self.high)
+
+    def contains(self, x: float | np.ndarray) -> bool | np.ndarray:
+        """Whether ``x`` (scalar or array) lies inside the interval."""
+        x = np.asarray(x)
+        result = (x >= self.low) & (x <= self.high)
+        return bool(result) if result.ndim == 0 else result
+
+    def clip(self, x: float | np.ndarray) -> float | np.ndarray:
+        """Clamp ``x`` into the interval."""
+        clipped = np.clip(x, self.low, self.high)
+        return float(clipped) if np.ndim(x) == 0 else clipped
+
+    def intersect(self, other: "Interval") -> "Interval | None":
+        """Intersection with another interval, or ``None`` when disjoint
+        or degenerate (touching at a single point)."""
+        low = max(self.low, other.low)
+        high = min(self.high, other.high)
+        if low >= high:
+            return None
+        return Interval(low, high)
+
+    def fraction(self, a: float, b: float) -> float:
+        """Fraction of this interval covered by ``[a, b]``.
+
+        This is the overlap functional ``psi_i(a, b) / h_i`` from the
+        histogram selectivity formula (paper eq. 4), normalized by the
+        interval width.
+        """
+        if b < self.low or a > self.high:
+            return 0.0
+        return (min(b, self.high) - max(a, self.low)) / self.width
+
+    def subdivide(self, boundaries: np.ndarray) -> list["Interval"]:
+        """Split the interval at the given interior boundary points.
+
+        Boundaries outside the open interval are ignored; duplicates
+        are collapsed.  The returned pieces tile the interval.
+        """
+        pts = np.asarray(boundaries, dtype=np.float64)
+        pts = np.unique(pts[(pts > self.low) & (pts < self.high)])
+        edges = np.concatenate(([self.low], pts, [self.high]))
+        return [Interval(edges[i], edges[i + 1]) for i in range(edges.size - 1)]
+
+
+class IntegerDomain(Interval):
+    """The paper's integer attribute domain ``{0, 1, ..., 2**p - 1}``.
+
+    The continuous hull is ``[0, 2**p - 1]``; estimators operate on the
+    hull while data generators snap values to the grid, which is what
+    creates duplicates on small domains (the effect studied in the
+    paper's Fig. 5).
+    """
+
+    def __init__(self, p: int) -> None:
+        if not isinstance(p, (int, np.integer)):
+            raise TypeError(f"domain exponent p must be an integer, got {type(p).__name__}")
+        if p < 1:
+            raise ValueError(f"domain exponent p must be >= 1, got {p}")
+        object.__setattr__(self, "p", int(p))
+        super().__init__(0.0, float(2**p - 1))
+
+    p: int
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct grid values, ``2**p``."""
+        return 2**self.p
+
+    def snap(self, x: np.ndarray) -> np.ndarray:
+        """Round real values to the nearest grid point, clipped to the domain.
+
+        This is the "mapping to the integer domain" step of §5.1.1: the
+        generators first draw from a continuous distribution and then
+        discretize.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        return np.clip(np.rint(x), self.low, self.high)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IntegerDomain(p={self.p})"
+
+    def __reduce__(self):
+        return (IntegerDomain, (self.p,))

@@ -1,0 +1,122 @@
+"""The relation abstraction: exact query execution and sampling.
+
+A :class:`Relation` is the "actual instance" of paper §2: a bag of
+``N`` attribute values over a metric domain.  It provides the two
+operations every experiment needs:
+
+* **exact range counts** ``|Q(a, b)|`` — the ground truth the error
+  metrics compare against — in ``O(log N)`` via a sorted copy, and
+* **random samples without replacement** — the input every estimator
+  is built from (paper §5.1.1 draws 2,000-record samples this way).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import InvalidQueryError, InvalidSampleError, validate_query
+from repro.data.domain import Interval
+
+
+def _resolve_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Accept a seed, a ready Generator, or ``None`` (fresh entropy)."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+class Relation:
+    """An in-memory relation instance with one metric attribute.
+
+    Parameters
+    ----------
+    values:
+        The attribute column (any 1-D array-like).  Values are stored
+        sorted; the original order is irrelevant to every operation.
+    domain:
+        The attribute domain.  All values must lie inside it.
+    name:
+        Optional label used in reports (e.g. the paper file name).
+    """
+
+    def __init__(
+        self,
+        values: np.ndarray,
+        domain: Interval,
+        *,
+        name: str = "",
+    ) -> None:
+        column = np.asarray(values, dtype=np.float64)
+        if column.ndim != 1:
+            raise InvalidSampleError(f"relation column must be 1-D, got shape {column.shape}")
+        if column.size == 0:
+            raise InvalidSampleError("relation must contain at least one record")
+        if not np.all(np.isfinite(column)):
+            raise InvalidSampleError("relation column contains NaN or infinite values")
+        if column.min() < domain.low or column.max() > domain.high:
+            raise InvalidSampleError(
+                f"relation values fall outside the domain [{domain.low}, {domain.high}]"
+            )
+        self._sorted = np.sort(column)
+        self._sorted.flags.writeable = False
+        self._domain = domain
+        self._name = name
+
+    @property
+    def name(self) -> str:
+        """Label of this relation (paper file name for registry data)."""
+        return self._name
+
+    @property
+    def domain(self) -> Interval:
+        """Attribute domain."""
+        return self._domain
+
+    @property
+    def size(self) -> int:
+        """Number of records ``N``."""
+        return int(self._sorted.size)
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only sorted view of the attribute column."""
+        return self._sorted
+
+    def count(self, a: float, b: float) -> int:
+        """Exact number of records with ``a <= value <= b`` (closed range)."""
+        a, b = validate_query(a, b)
+        lo = int(np.searchsorted(self._sorted, a, side="left"))
+        hi = int(np.searchsorted(self._sorted, b, side="right"))
+        return hi - lo
+
+    def selectivity(self, a: float, b: float) -> float:
+        """Exact instance selectivity ``|Q(a, b)| / N`` (paper §2)."""
+        return self.count(a, b) / self.size
+
+    def sample(self, n: int, seed: "int | np.random.Generator | None" = None) -> np.ndarray:
+        """Draw ``n`` records uniformly without replacement.
+
+        This is the paper's sampling protocol (§5.1.1).  Returns a new
+        ``float64`` array; order is random.
+        """
+        if n <= 0:
+            raise InvalidQueryError(f"sample size must be positive, got {n}")
+        if n > self.size:
+            raise InvalidQueryError(
+                f"cannot draw {n} samples without replacement from {self.size} records"
+            )
+        rng = _resolve_rng(seed)
+        index = rng.choice(self.size, size=n, replace=False)
+        return self._sorted[index].copy()
+
+    def distinct_count(self) -> int:
+        """Number of distinct attribute values (duplicates collapse)."""
+        return int(np.unique(self._sorted).size)
+
+    def quantile(self, q: "float | np.ndarray") -> "float | np.ndarray":
+        """Empirical quantile(s) of the attribute column."""
+        return np.quantile(self._sorted, q)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = self._name or "relation"
+        return f"Relation({label!r}, N={self.size}, domain={self._domain!r})"

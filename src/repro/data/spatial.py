@@ -1,0 +1,221 @@
+"""Simulated TIGER/Line data files (arap1, arap2, rr1(p), rr2(p)).
+
+The paper's real data are 1-D projections of line endpoints from the
+U.S. Census TIGER/Line files (county Arapahoe and an L.A.-area
+railroads & rivers extract).  Those files are not redistributable, so
+this module generates synthetic stand-ins with the structural features
+the paper's conclusions rest on (DESIGN.md §3):
+
+* **piecewise-dense regions with sharp edges** — city cores, county
+  boundaries — which give the true density pronounced *change points*
+  (the regime where the hybrid estimator wins, paper Fig. 12);
+* **street-grid point masses** — coordinates repeated on grid lines —
+  which give duplicates even on a large integer domain;
+* **narrow linear features** (rivers, rail corridors) projecting to
+  high, narrow density bands.
+
+Each file is described declaratively as a mixture of components and
+rendered by :func:`render_mixture`; the concrete layouts for the four
+paper files are in :data:`ARAPAHOE_1`, :data:`ARAPAHOE_2`,
+:data:`RAILROADS_RIVERS_1` and :data:`RAILROADS_RIVERS_2`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.data.domain import IntegerDomain
+
+
+@dataclasses.dataclass(frozen=True)
+class UniformBlock:
+    """Uniform density over ``[lo, hi]`` (fractions of the domain width).
+
+    Blocks are the source of genuine density change points: the true
+    PDF jumps at both edges.
+    """
+
+    lo: float
+    hi: float
+    weight: float
+
+    def draw(self, k: int, domain: IntegerDomain, rng: np.random.Generator) -> np.ndarray:
+        lo = domain.low + self.lo * domain.width
+        hi = domain.low + self.hi * domain.width
+        return rng.uniform(lo, hi, size=k)
+
+
+@dataclasses.dataclass(frozen=True)
+class GaussCluster:
+    """A Gaussian town/cluster at ``center`` with spread ``sigma``
+    (fractions of the domain width), truncated to the domain."""
+
+    center: float
+    sigma: float
+    weight: float
+
+    def draw(self, k: int, domain: IntegerDomain, rng: np.random.Generator) -> np.ndarray:
+        mean = domain.low + self.center * domain.width
+        sigma = self.sigma * domain.width
+        out = np.empty(k, dtype=np.float64)
+        filled = 0
+        while filled < k:
+            batch = rng.normal(mean, sigma, size=(k - filled) * 2 + 8)
+            batch = batch[(batch >= domain.low) & (batch <= domain.high)]
+            take = min(batch.size, k - filled)
+            out[filled : filled + take] = batch[:take]
+            filled += take
+        return out
+
+
+@dataclasses.dataclass(frozen=True)
+class GridSpikes:
+    """Point masses on ``n_lines`` evenly spaced street-grid coordinates
+    spanning ``[lo, hi]`` (fractions of the domain width).
+
+    Line popularity follows a geometric profile so a few main streets
+    dominate, as in real street networks.
+    """
+
+    lo: float
+    hi: float
+    n_lines: int
+    weight: float
+    decay: float = 0.97
+
+    def draw(self, k: int, domain: IntegerDomain, rng: np.random.Generator) -> np.ndarray:
+        lines = domain.low + np.linspace(self.lo, self.hi, self.n_lines) * domain.width
+        popularity = self.decay ** np.arange(self.n_lines, dtype=np.float64)
+        rng.shuffle(popularity)
+        popularity /= popularity.sum()
+        picks = rng.choice(self.n_lines, size=k, p=popularity)
+        return lines[picks]
+
+
+@dataclasses.dataclass(frozen=True)
+class NarrowBand:
+    """A river/rail corridor: a narrow uniform band at ``center`` of
+    total width ``width`` (fractions of the domain width)."""
+
+    center: float
+    width: float
+    weight: float
+
+    def draw(self, k: int, domain: IntegerDomain, rng: np.random.Generator) -> np.ndarray:
+        half = 0.5 * self.width * domain.width
+        mid = domain.low + self.center * domain.width
+        lo = max(domain.low, mid - half)
+        hi = min(domain.high, mid + half)
+        return rng.uniform(lo, hi, size=k)
+
+
+Component = UniformBlock | GaussCluster | GridSpikes | NarrowBand
+
+
+def render_mixture(
+    components: tuple[Component, ...],
+    p: int,
+    n_records: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw ``n_records`` values from a component mixture and snap them
+    onto the ``[0, 2**p - 1]`` integer grid.
+
+    Component weights must sum to 1 (within floating-point tolerance).
+    The output is shuffled so record order carries no information.
+    """
+    weights = np.array([c.weight for c in components], dtype=np.float64)
+    if weights.size == 0:
+        raise ValueError("mixture needs at least one component")
+    if np.any(weights <= 0):
+        raise ValueError("component weights must be positive")
+    if abs(weights.sum() - 1.0) > 1e-9:
+        raise ValueError(f"component weights must sum to 1, got {weights.sum()!r}")
+
+    domain = IntegerDomain(p)
+    counts = rng.multinomial(n_records, weights)
+    parts = [
+        component.draw(int(count), domain, rng)
+        for component, count in zip(components, counts)
+        if count > 0
+    ]
+    values = np.concatenate(parts)
+    rng.shuffle(values)
+    return domain.snap(values)
+
+
+#: Arapahoe county, first coordinate (paper file ``arap1``, p=21):
+#: a dense urban core with street grid, a secondary town, suburban and
+#: rural blocks with sharp edges.
+ARAPAHOE_1: tuple[Component, ...] = (
+    UniformBlock(0.10, 0.28, 0.20),
+    UniformBlock(0.28, 0.55, 0.16),
+    UniformBlock(0.55, 0.96, 0.09),
+    GaussCluster(0.18, 0.016, 0.12),
+    GaussCluster(0.43, 0.022, 0.08),
+    GridSpikes(0.08, 0.60, 120, 0.26),
+    UniformBlock(0.04, 0.97, 0.09),
+)
+
+#: Arapahoe county, second coordinate (paper file ``arap2``, p=18):
+#: the same county seen along the other axis — a flatter profile with
+#: two towns and a coarser street grid.
+ARAPAHOE_2: tuple[Component, ...] = (
+    UniformBlock(0.05, 0.45, 0.22),
+    UniformBlock(0.45, 0.80, 0.14),
+    GaussCluster(0.30, 0.025, 0.14),
+    GaussCluster(0.62, 0.018, 0.10),
+    GridSpikes(0.10, 0.75, 90, 0.24),
+    UniformBlock(0.02, 0.95, 0.16),
+)
+
+#: L.A.-area railroads & rivers, first coordinate (paper file
+#: ``rr1(p)``): narrow corridors over a broad sparse background.
+RAILROADS_RIVERS_1: tuple[Component, ...] = (
+    NarrowBand(0.12, 0.010, 0.09),
+    NarrowBand(0.21, 0.022, 0.11),
+    NarrowBand(0.33, 0.006, 0.07),
+    NarrowBand(0.45, 0.030, 0.13),
+    NarrowBand(0.52, 0.012, 0.08),
+    NarrowBand(0.66, 0.018, 0.10),
+    NarrowBand(0.79, 0.008, 0.06),
+    NarrowBand(0.88, 0.025, 0.08),
+    UniformBlock(0.05, 0.95, 0.18),
+    GaussCluster(0.48, 0.060, 0.10),
+)
+
+#: L.A.-area railroads & rivers, second coordinate (paper file
+#: ``rr2(p)``).
+RAILROADS_RIVERS_2: tuple[Component, ...] = (
+    NarrowBand(0.09, 0.015, 0.10),
+    NarrowBand(0.25, 0.008, 0.08),
+    NarrowBand(0.38, 0.020, 0.12),
+    NarrowBand(0.57, 0.010, 0.09),
+    NarrowBand(0.71, 0.028, 0.12),
+    NarrowBand(0.84, 0.006, 0.05),
+    UniformBlock(0.03, 0.97, 0.22),
+    GaussCluster(0.40, 0.050, 0.12),
+    GaussCluster(0.70, 0.040, 0.10),
+)
+
+
+def arapahoe(dimension: int, p: int, n_records: int, rng: np.random.Generator) -> np.ndarray:
+    """Generate the ``arap1``/``arap2`` stand-in for the given dimension (1 or 2)."""
+    if dimension == 1:
+        return render_mixture(ARAPAHOE_1, p, n_records, rng)
+    if dimension == 2:
+        return render_mixture(ARAPAHOE_2, p, n_records, rng)
+    raise ValueError(f"dimension must be 1 or 2, got {dimension}")
+
+
+def railroads_rivers(
+    dimension: int, p: int, n_records: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Generate the ``rr1(p)``/``rr2(p)`` stand-in for the given dimension (1 or 2)."""
+    if dimension == 1:
+        return render_mixture(RAILROADS_RIVERS_1, p, n_records, rng)
+    if dimension == 2:
+        return render_mixture(RAILROADS_RIVERS_2, p, n_records, rng)
+    raise ValueError(f"dimension must be 1 or 2, got {dimension}")

@@ -1,0 +1,141 @@
+"""The statistics catalog: ANALYZE and cached per-column estimators.
+
+A real system separates statistics *collection* (ANALYZE scans a
+sample once) from *use* (the optimizer consults cached statistics on
+every query).  :class:`Catalog` does the same: ``analyze(table)``
+draws one row-aligned sample and builds a selectivity estimator per
+column — any family from :mod:`repro.estimators` — plus optional
+joint 2-D statistics for declared column pairs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import estimators
+from repro.core.base import InvalidQueryError, SelectivityEstimator
+from repro.db.table import Table
+from repro.multidim import KernelEstimator2D, plugin_bandwidths_2d
+
+#: Estimator families ANALYZE can build, by name.
+FAMILIES = {
+    "uniform": lambda sample, domain: estimators.uniform(domain),
+    "sampling": estimators.sampling,
+    "equi-width": estimators.equi_width,
+    "equi-depth": estimators.equi_depth,
+    "v-optimal": estimators.v_optimal,
+    "wavelet": estimators.wavelet,
+    "kernel": lambda sample, domain: estimators.kernel(
+        sample, domain, bandwidth="plug-in"
+    ),
+    "hybrid": estimators.hybrid,
+}
+
+
+class Catalog:
+    """Per-table statistics built by ANALYZE.
+
+    Parameters
+    ----------
+    family:
+        Estimator family used for single-column statistics (a key of
+        :data:`FAMILIES`).
+    sample_size:
+        Rows scanned per ANALYZE (the paper's 2,000 by default).
+    """
+
+    def __init__(self, family: str = "kernel", sample_size: int = 2_000) -> None:
+        if family not in FAMILIES:
+            raise InvalidQueryError(
+                f"unknown estimator family {family!r}; available: {', '.join(FAMILIES)}"
+            )
+        if sample_size < 2:
+            raise InvalidQueryError(f"sample size must be >= 2, got {sample_size}")
+        self._family = family
+        self._sample_size = sample_size
+        self._column_stats: dict[tuple[str, str], SelectivityEstimator] = {}
+        self._joint_stats: dict[tuple[str, str, str], KernelEstimator2D] = {}
+        self._row_counts: dict[str, int] = {}
+
+    @property
+    def family(self) -> str:
+        """Estimator family ANALYZE builds."""
+        return self._family
+
+    def analyze(
+        self,
+        table: Table,
+        joint: "list[tuple[str, str]] | None" = None,
+        seed=None,
+    ) -> None:
+        """Collect statistics for a table (replacing any previous ones).
+
+        Parameters
+        ----------
+        table:
+            The table to scan.
+        joint:
+            Column pairs to additionally cover with joint 2-D kernel
+            statistics (for correlated attributes).
+        seed:
+            Sampling seed.
+        """
+        n = min(self._sample_size, table.row_count)
+        rows = table.sample_rows(n, seed=seed)
+        self._row_counts[table.name] = table.row_count
+        build = FAMILIES[self._family]
+        for column in table.column_names:
+            statistic = build(rows[column], table.domain(column))
+            self._column_stats[(table.name, column)] = statistic
+        for x, y in joint or []:
+            sample = np.column_stack([rows[x], rows[y]])
+            self._joint_stats[(table.name, x, y)] = KernelEstimator2D(
+                sample,
+                bandwidths=plugin_bandwidths_2d(sample),
+                domain_x=table.domain(x),
+                domain_y=table.domain(y),
+            )
+
+    def has_statistics(self, table_name: str) -> bool:
+        """Whether ANALYZE has run for the table."""
+        return table_name in self._row_counts
+
+    def row_count(self, table_name: str) -> int:
+        """Cached row count."""
+        self._require(table_name)
+        return self._row_counts[table_name]
+
+    def column_statistic(self, table_name: str, column: str) -> SelectivityEstimator:
+        """The cached single-column estimator."""
+        self._require(table_name)
+        key = (table_name, column)
+        if key not in self._column_stats:
+            raise InvalidQueryError(f"no statistics for {table_name}.{column}")
+        return self._column_stats[key]
+
+    def joint_statistic(
+        self, table_name: str, x: str, y: str
+    ) -> "KernelEstimator2D | None":
+        """The cached joint estimator for a column pair, if any.
+
+        Order-insensitive: ``(x, y)`` and ``(y, x)`` resolve to the
+        same statistic (with axes swapped by the caller as needed).
+        """
+        self._require(table_name)
+        if (table_name, x, y) in self._joint_stats:
+            return self._joint_stats[(table_name, x, y)]
+        return None
+
+    def joint_orientation(self, table_name: str, x: str, y: str) -> "tuple[str, str] | None":
+        """The stored axis order covering ``{x, y}``, if any pair does."""
+        if (table_name, x, y) in self._joint_stats:
+            return (x, y)
+        if (table_name, y, x) in self._joint_stats:
+            return (y, x)
+        return None
+
+    def _require(self, table_name: str) -> None:
+        if table_name not in self._row_counts:
+            raise InvalidQueryError(
+                f"no statistics for table {table_name!r}; run analyze() first"
+            )

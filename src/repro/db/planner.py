@@ -1,0 +1,143 @@
+"""Cardinality estimation and access-path selection.
+
+The consumer the paper's introduction describes: given a conjunction
+of range predicates, estimate the result cardinality from catalog
+statistics and pick the cheaper access path.  Cardinality estimation
+uses joint 2-D statistics where the catalog has them and falls back to
+the textbook independence assumption otherwise; the cost model is the
+classic index-probe vs. sequential-scan trade-off.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.base import InvalidQueryError, validate_query
+from repro.db.catalog import Catalog
+from repro.db.table import Table
+
+
+@dataclasses.dataclass(frozen=True)
+class RangePredicate:
+    """``a <= table.column <= b``."""
+
+    column: str
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        a, b = validate_query(self.a, self.b)
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+
+
+@dataclasses.dataclass(frozen=True)
+class Plan:
+    """An EXPLAIN row: the chosen access path and its numbers."""
+
+    table: str
+    access_path: str
+    estimated_rows: float
+    estimated_cost: float
+    alternatives: tuple[tuple[str, float], ...]
+
+    def explain(self) -> str:
+        """One-line EXPLAIN rendering."""
+        others = ", ".join(f"{name}={cost:.0f}" for name, cost in self.alternatives)
+        return (
+            f"{self.access_path} on {self.table}  "
+            f"(rows~{self.estimated_rows:.0f}, cost={self.estimated_cost:.0f}; "
+            f"rejected: {others})"
+        )
+
+
+class Planner:
+    """Cardinality estimation + two-path cost model over a catalog.
+
+    Parameters
+    ----------
+    catalog:
+        Statistics source (run ``analyze`` first).
+    cost_seq_tuple / cost_random_tuple / cost_index_probe:
+        Cost-model constants: per-row sequential read, per-row random
+        read through an index, and fixed index overhead.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        *,
+        cost_seq_tuple: float = 1.0,
+        cost_random_tuple: float = 8.0,
+        cost_index_probe: float = 500.0,
+    ) -> None:
+        if min(cost_seq_tuple, cost_random_tuple) <= 0 or cost_index_probe < 0:
+            raise InvalidQueryError("cost constants must be positive")
+        self._catalog = catalog
+        self._c_seq = cost_seq_tuple
+        self._c_rand = cost_random_tuple
+        self._c_probe = cost_index_probe
+
+    def selectivity(self, table: Table, predicates: "list[RangePredicate]") -> float:
+        """Estimated selectivity of a conjunction of range predicates.
+
+        Pairs covered by joint statistics are estimated jointly; the
+        remaining factors multiply in (independence assumption).
+        """
+        if not predicates:
+            return 1.0
+        by_column: dict[str, RangePredicate] = {}
+        for predicate in predicates:
+            if predicate.column in by_column:
+                # Conjunct on the same column: intersect the ranges.
+                existing = by_column[predicate.column]
+                a = max(existing.a, predicate.a)
+                b = min(existing.b, predicate.b)
+                if a > b:
+                    return 0.0
+                by_column[predicate.column] = RangePredicate(predicate.column, a, b)
+            else:
+                by_column[predicate.column] = predicate
+
+        remaining = dict(by_column)
+        total = 1.0
+        # Joint statistics first (each column participates once).
+        for x in list(remaining):
+            if x not in remaining:
+                continue
+            for y in list(remaining):
+                if y == x or y not in remaining or x not in remaining:
+                    continue
+                orientation = self._catalog.joint_orientation(table.name, x, y)
+                if orientation is None:
+                    continue
+                first, second = orientation
+                joint = self._catalog.joint_statistic(table.name, first, second)
+                p_first = remaining.pop(first)
+                p_second = remaining.pop(second)
+                total *= joint.selectivity(
+                    p_first.a, p_first.b, p_second.a, p_second.b
+                )
+        for column, predicate in remaining.items():
+            statistic = self._catalog.column_statistic(table.name, column)
+            total *= statistic.selectivity(predicate.a, predicate.b)
+        return float(np.clip(total, 0.0, 1.0))
+
+    def cardinality(self, table: Table, predicates: "list[RangePredicate]") -> float:
+        """Estimated result rows ``N * sigma``."""
+        return self.selectivity(table, predicates) * self._catalog.row_count(table.name)
+
+    def plan(self, table: Table, predicates: "list[RangePredicate]") -> Plan:
+        """Choose the cheaper access path under the cost model."""
+        rows = self._catalog.row_count(table.name)
+        estimated = self.cardinality(table, predicates)
+        seq_cost = rows * self._c_seq
+        index_cost = self._c_probe + estimated * self._c_rand
+        paths = {"seq scan": seq_cost, "index scan": index_cost}
+        winner = min(paths, key=paths.get)
+        alternatives = tuple(
+            (name, cost) for name, cost in paths.items() if name != winner
+        )
+        return Plan(table.name, winner, estimated, paths[winner], alternatives)

@@ -1,0 +1,123 @@
+"""Multi-column tables with exact predicate evaluation.
+
+A :class:`Table` is a named collection of metric columns over declared
+domains — just enough relational substrate for the optimizer layer to
+be honest: predicates can be executed exactly (ground truth for every
+estimate) and sampled consistently (row-aligned across columns, the
+way a real ANALYZE scans whole tuples).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import InvalidQueryError, InvalidSampleError, validate_query
+from repro.data.domain import Interval
+from repro.data.relation import _resolve_rng
+
+
+class Table:
+    """An in-memory table of metric columns.
+
+    Parameters
+    ----------
+    name:
+        Table name (used in EXPLAIN output).
+    columns:
+        Mapping of column name to ``(values, domain)``; all columns
+        must have the same length.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: "dict[str, tuple[np.ndarray, Interval]]",
+    ) -> None:
+        if not columns:
+            raise InvalidSampleError("table needs at least one column")
+        self._name = name
+        self._domains: dict[str, Interval] = {}
+        data: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for column, (values, domain) in columns.items():
+            array = np.asarray(values, dtype=np.float64)
+            if array.ndim != 1:
+                raise InvalidSampleError(f"column {column!r} must be 1-D")
+            if length is None:
+                length = array.size
+            elif array.size != length:
+                raise InvalidSampleError(
+                    f"column {column!r} has {array.size} rows, expected {length}"
+                )
+            if array.size == 0:
+                raise InvalidSampleError(f"column {column!r} is empty")
+            if not np.all(np.isfinite(array)):
+                raise InvalidSampleError(f"column {column!r} contains non-finite values")
+            if array.min() < domain.low or array.max() > domain.high:
+                raise InvalidSampleError(
+                    f"column {column!r} falls outside its domain"
+                )
+            data[column] = array.copy()
+            data[column].flags.writeable = False
+            self._domains[column] = domain
+        self._data = data
+        self._rows = int(length)
+
+    @property
+    def name(self) -> str:
+        """Table name."""
+        return self._name
+
+    @property
+    def row_count(self) -> int:
+        """Number of rows ``N``."""
+        return self._rows
+
+    @property
+    def column_names(self) -> list[str]:
+        """Column names, declaration order."""
+        return list(self._data)
+
+    def domain(self, column: str) -> Interval:
+        """Domain of one column."""
+        self._check_column(column)
+        return self._domains[column]
+
+    def column(self, column: str) -> np.ndarray:
+        """Read-only view of one column."""
+        self._check_column(column)
+        return self._data[column]
+
+    def _check_column(self, column: str) -> None:
+        if column not in self._data:
+            raise InvalidQueryError(
+                f"table {self._name!r} has no column {column!r}; "
+                f"has {', '.join(self._data)}"
+            )
+
+    def count(self, predicates: "dict[str, tuple[float, float]]") -> int:
+        """Exact row count of a conjunction of range predicates."""
+        if not predicates:
+            return self._rows
+        mask = np.ones(self._rows, dtype=bool)
+        for column, (a, b) in predicates.items():
+            self._check_column(column)
+            a, b = validate_query(a, b)
+            values = self._data[column]
+            mask &= (values >= a) & (values <= b)
+        return int(np.count_nonzero(mask))
+
+    def sample_rows(self, n: int, seed=None) -> "dict[str, np.ndarray]":
+        """Row-aligned sample without replacement across all columns."""
+        if n <= 0:
+            raise InvalidQueryError(f"sample size must be positive, got {n}")
+        if n > self._rows:
+            raise InvalidQueryError(
+                f"cannot draw {n} rows without replacement from {self._rows}"
+            )
+        rng = _resolve_rng(seed)
+        index = rng.choice(self._rows, size=n, replace=False)
+        return {column: values[index].copy() for column, values in self._data.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self._name!r}, rows={self._rows}, columns={self.column_names})"

@@ -1,0 +1,126 @@
+"""Exact reference densities for the synthetic data models.
+
+The synthetic files of §5.1.1 are draws from known continuous
+distributions truncated to the attribute domain.  Knowing the truth
+exactly lets tests and theory experiments compute genuine integrated
+squared errors, bias/variance splits and roughness functionals instead
+of comparing estimators only against each other.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+from scipy import stats
+
+from repro.core.base import InvalidQueryError
+from repro.data.domain import Interval
+
+
+class TruncatedDensity(abc.ABC):
+    """A continuous density truncated (and renormalized) to a domain."""
+
+    def __init__(self, domain: Interval) -> None:
+        self._domain = domain
+        self._mass = self._raw_cdf(domain.high) - self._raw_cdf(domain.low)
+        if self._mass <= 0:
+            raise InvalidQueryError("distribution has no mass inside the domain")
+
+    @property
+    def domain(self) -> Interval:
+        """The truncation interval."""
+        return self._domain
+
+    @abc.abstractmethod
+    def _raw_pdf(self, x: np.ndarray) -> np.ndarray:
+        """Untruncated density."""
+
+    @abc.abstractmethod
+    def _raw_cdf(self, x: np.ndarray) -> np.ndarray:
+        """Untruncated CDF."""
+
+    def pdf(self, x: np.ndarray) -> np.ndarray:
+        """Truncated density (zero outside the domain)."""
+        x = np.asarray(x, dtype=np.float64)
+        inside = (x >= self._domain.low) & (x <= self._domain.high)
+        return np.where(inside, self._raw_pdf(x) / self._mass, 0.0)
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        """Truncated CDF."""
+        x = np.asarray(x, dtype=np.float64)
+        clipped = np.clip(x, self._domain.low, self._domain.high)
+        return (self._raw_cdf(clipped) - self._raw_cdf(self._domain.low)) / self._mass
+
+    def selectivity(self, a: float, b: float) -> float:
+        """Exact distribution selectivity of ``Q(a, b)``."""
+        if a > b:
+            raise InvalidQueryError(f"query range is empty: a={a} > b={b}")
+        return float(self.cdf(b) - self.cdf(a))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw from the truncated distribution by inverse CDF."""
+        u = rng.uniform(0.0, 1.0, size=n)
+        target = self._raw_cdf(self._domain.low) + u * self._mass
+        return self._raw_ppf(target)
+
+    @abc.abstractmethod
+    def _raw_ppf(self, q: np.ndarray) -> np.ndarray:
+        """Untruncated quantile function."""
+
+
+class NormalTruth(TruncatedDensity):
+    """Normal(mean, sigma) truncated to the domain — the ``n(p)`` model."""
+
+    def __init__(self, domain: Interval, mean: float | None = None, sigma: float | None = None):
+        self._mean = domain.center if mean is None else float(mean)
+        # Default: the library's anchored sigma (1/8 of the p=20 width).
+        if sigma is None:
+            from repro.data.synthetic import NORMAL_SIGMA_FRACTION, _REFERENCE_WIDTH
+
+            sigma = NORMAL_SIGMA_FRACTION * _REFERENCE_WIDTH
+        self._sigma = float(sigma)
+        super().__init__(domain)
+
+    def _raw_pdf(self, x):
+        return stats.norm.pdf(x, self._mean, self._sigma)
+
+    def _raw_cdf(self, x):
+        return stats.norm.cdf(x, self._mean, self._sigma)
+
+    def _raw_ppf(self, q):
+        return stats.norm.ppf(q, self._mean, self._sigma)
+
+
+class ExponentialTruth(TruncatedDensity):
+    """Exponential(scale) truncated to the domain — the ``e(p)`` model."""
+
+    def __init__(self, domain: Interval, scale: float | None = None):
+        if scale is None:
+            from repro.data.synthetic import EXPONENTIAL_SCALE_FRACTION, _REFERENCE_WIDTH
+
+            scale = EXPONENTIAL_SCALE_FRACTION * _REFERENCE_WIDTH
+        self._scale = float(scale)
+        super().__init__(domain)
+
+    def _raw_pdf(self, x):
+        return stats.expon.pdf(x, scale=self._scale)
+
+    def _raw_cdf(self, x):
+        return stats.expon.cdf(x, scale=self._scale)
+
+    def _raw_ppf(self, q):
+        return stats.expon.ppf(q, scale=self._scale)
+
+
+class UniformTruth(TruncatedDensity):
+    """Uniform over the domain — the ``u(p)`` model."""
+
+    def _raw_pdf(self, x):
+        return stats.uniform.pdf(x, self._domain.low, self._domain.width)
+
+    def _raw_cdf(self, x):
+        return stats.uniform.cdf(x, self._domain.low, self._domain.width)
+
+    def _raw_ppf(self, q):
+        return stats.uniform.ppf(q, self._domain.low, self._domain.width)

@@ -1,0 +1,20 @@
+"""Experiment modules: one per table/figure of the paper's §5.
+
+Every module exposes ``run(config) -> FigureResult``; the default
+configuration reproduces the paper's protocol (2,000 samples, 1,000
+queries per file), while :data:`repro.experiments.harness.FAST` trades
+query count for speed in tests and benchmarks.  The *shapes* (who
+wins, where the error curves bend) are the reproduction target — see
+DESIGN.md §4 and EXPERIMENTS.md.
+"""
+
+from repro.experiments.harness import DEFAULT, FAST, ExperimentConfig, load_context
+from repro.experiments.reporting import FigureResult
+
+__all__ = [
+    "DEFAULT",
+    "FAST",
+    "ExperimentConfig",
+    "FigureResult",
+    "load_context",
+]

@@ -1,0 +1,53 @@
+"""Fig. 4: dependence of the MRE on the number of bins.
+
+Equi-width histograms on Normal data show the characteristic U-shape:
+too few bins oversmooth (error above even pure sampling), too many
+bins degenerate towards pure sampling.  The paper reports a minimum
+around 20 bins (~7 % MRE) against a 17.5 % sampling baseline for
+n(20) with 2,000 samples and 1 % queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.histogram import EquiWidthHistogram
+from repro.core.sampling import SamplingEstimator
+from repro.experiments.harness import DEFAULT, ExperimentConfig, load_context
+from repro.experiments.reporting import FigureResult, make_result
+from repro.workload.metrics import mean_relative_error
+
+#: Data file used by the paper for this figure.
+DATASET = "n(20)"
+
+
+def default_bin_grid() -> np.ndarray:
+    """Bin counts swept by the figure (log-spaced, 2..2000)."""
+    return np.unique(np.round(np.geomspace(2, 2000, num=25)).astype(int))
+
+
+def run(
+    config: ExperimentConfig = DEFAULT,
+    bin_grid: np.ndarray | None = None,
+) -> FigureResult:
+    """Sweep the number of equi-width bins on Normal data."""
+    context = load_context(DATASET, config)
+    if bin_grid is None:
+        bin_grid = default_bin_grid()
+    sampling_error = mean_relative_error(SamplingEstimator(context.sample), context.queries)
+    rows = []
+    for bins in bin_grid:
+        histogram = EquiWidthHistogram(context.sample, context.relation.domain, int(bins))
+        rows.append(
+            {
+                "bins": int(bins),
+                "equi-width MRE": mean_relative_error(histogram, context.queries),
+                "sampling MRE": sampling_error,
+            }
+        )
+    return make_result(
+        "fig-4",
+        "MRE vs. number of bins (equi-width on n(20), 1% queries)",
+        rows,
+        notes="expected shape: U-curve dipping well below the flat sampling baseline",
+    )

@@ -1,0 +1,67 @@
+"""Fig. 6: the impact of the sample size (consistency in practice).
+
+MRE of 1 % queries on n(20) as a function of the sample size, for
+pure sampling, equi-width histograms (normal-scale bins, which adapt
+to n) and kernel estimators (normal-scale bandwidth, boundary
+kernels).  All three are consistent — the error falls with n — and
+the ordering kernel < histogram < sampling holds throughout,
+matching the theory's convergence rates n^(-4/5), n^(-2/3), n^(-1/2).
+"""
+
+from __future__ import annotations
+
+from repro.bandwidth.normal_scale import histogram_bin_count, kernel_bandwidth
+from repro.core.histogram import EquiWidthHistogram
+from repro.core.kernel import make_kernel_estimator
+from repro.core.sampling import SamplingEstimator
+from repro.data import registry
+from repro.experiments.harness import DEFAULT, ExperimentConfig
+from repro.experiments.reporting import FigureResult, make_result
+from repro.workload.metrics import mean_relative_error
+from repro.workload.queries import generate_query_file
+
+#: Data file used by the paper for this figure.
+DATASET = "n(20)"
+
+#: Sample sizes swept (the paper spans 200 to 10,000).
+SAMPLE_SIZES = (200, 500, 1_000, 2_000, 5_000, 10_000)
+
+
+def run(
+    config: ExperimentConfig = DEFAULT,
+    sample_sizes: tuple[int, ...] = SAMPLE_SIZES,
+) -> FigureResult:
+    """Sweep the sample size for sampling, histogram and kernel."""
+    relation = registry.load(DATASET, seed=config.seed)
+    queries = generate_query_file(
+        relation,
+        config.query_size,
+        n_queries=config.n_queries,
+        seed=config.query_seed(DATASET, config.query_size),
+    )
+    rows = []
+    for n in sample_sizes:
+        sample = relation.sample(n, seed=config.sample_seed(f"{DATASET}#{n}"))
+        bins = histogram_bin_count(sample, relation.domain)
+        bandwidth = min(kernel_bandwidth(sample), 0.499 * relation.domain.width)
+        rows.append(
+            {
+                "sample size": n,
+                "sampling MRE": mean_relative_error(SamplingEstimator(sample), queries),
+                "equi-width MRE": mean_relative_error(
+                    EquiWidthHistogram(sample, relation.domain, bins), queries
+                ),
+                "kernel MRE": mean_relative_error(
+                    make_kernel_estimator(
+                        sample, bandwidth, relation.domain, boundary="kernel"
+                    ),
+                    queries,
+                ),
+            }
+        )
+    return make_result(
+        "fig-6",
+        "MRE(n(20), 1%) vs. sample size for sampling, equi-width and kernel",
+        rows,
+        notes="expected shape: all errors fall with n; kernel < equi-width < sampling",
+    )

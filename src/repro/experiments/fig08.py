@@ -1,0 +1,71 @@
+"""Fig. 8: histogram estimators at their observed-optimal bin counts.
+
+Compares equi-width, equi-depth and max-diff histograms — each with
+the bin count that minimizes the observed MRE (the workload oracle) —
+against pure sampling and the uniform estimator.  On large metric
+domains the paper finds equi-width generally the winner, max-diff
+clearly behind (contradicting the small-domain results of Poosala et
+al.), and the uniform estimator collapsing on the skewed real files
+(≈600 % on the census file).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bandwidth.oracle import oracle_bin_count
+from repro.core.histogram import (
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    MaxDiffHistogram,
+    UniformEstimator,
+)
+from repro.core.sampling import SamplingEstimator
+from repro.experiments.harness import DEFAULT, ExperimentConfig, load_context
+from repro.experiments.reporting import FigureResult, make_result
+from repro.workload.metrics import mean_relative_error
+
+
+def bin_candidates(max_bins: int = 1_500, points: int = 22) -> np.ndarray:
+    """Candidate bin counts for the oracle sweep."""
+    return np.unique(np.round(np.geomspace(2, max_bins, num=points)).astype(int))
+
+
+def run(config: ExperimentConfig = DEFAULT) -> FigureResult:
+    """Oracle-tuned histogram comparison per data file."""
+    candidates = bin_candidates()
+    rows = []
+    for name in config.datasets:
+        context = load_context(name, config)
+        sample, domain, queries = context.sample, context.relation.domain, context.queries
+        ewh = oracle_bin_count(
+            lambda k: EquiWidthHistogram(sample, domain, k), queries, candidates
+        )
+        edh = oracle_bin_count(
+            lambda k: EquiDepthHistogram(sample, k, domain), queries, candidates
+        )
+        mdh = oracle_bin_count(
+            lambda k: MaxDiffHistogram(sample, k, domain), queries, candidates
+        )
+        rows.append(
+            {
+                "dataset": name,
+                "EWH MRE": ewh.best_error,
+                "EDH MRE": edh.best_error,
+                "MDH MRE": mdh.best_error,
+                "sampling MRE": mean_relative_error(SamplingEstimator(sample), queries),
+                "uniform MRE": mean_relative_error(UniformEstimator(domain), queries),
+                "EWH bins": int(ewh.best),
+                "EDH bins": int(edh.best),
+                "MDH bins": int(mdh.best),
+            }
+        )
+    return make_result(
+        "fig-8",
+        "Histogram estimators at observed-optimal bins vs. sampling and uniform (1% queries)",
+        rows,
+        notes=(
+            "expected shape: EWH generally best, MDH clearly worse, uniform "
+            "collapses on skewed files"
+        ),
+    )

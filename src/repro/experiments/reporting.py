@@ -1,0 +1,101 @@
+"""Uniform result container and text rendering for experiments.
+
+Every experiment returns a :class:`FigureResult`: an ordered list of
+row dicts plus labelling metadata.  ``render()`` produces the aligned
+text table printed by the benchmark harness and the examples, and
+``to_csv()`` emits machine-readable output for external plotting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+from typing import Mapping, Sequence
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        # Errors are fractions; render as percentages with sign intact.
+        if abs(value) < 10.0:
+            return f"{value * 100:.2f}%"
+        return f"{value:.1f}"
+    return str(value)
+
+
+@dataclasses.dataclass(frozen=True)
+class FigureResult:
+    """Result of one paper experiment.
+
+    Attributes
+    ----------
+    figure_id:
+        Paper reference, e.g. ``"fig-8"`` or ``"table-2"``.
+    title:
+        Human-readable description of what the experiment shows.
+    rows:
+        Ordered records; all rows share the same keys.  Float values
+        are error fractions unless the column name says otherwise.
+    notes:
+        Reproduction caveats worth keeping next to the numbers.
+    """
+
+    figure_id: str
+    title: str
+    rows: tuple[Mapping[str, object], ...]
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.rows:
+            raise ValueError(f"{self.figure_id}: experiment produced no rows")
+        keys = list(self.rows[0].keys())
+        for row in self.rows:
+            if list(row.keys()) != keys:
+                raise ValueError(f"{self.figure_id}: rows have inconsistent columns")
+
+    @property
+    def columns(self) -> list[str]:
+        """Column names, in row order."""
+        return list(self.rows[0].keys())
+
+    def column(self, name: str) -> list[object]:
+        """All values of one column, in row order."""
+        if name not in self.rows[0]:
+            raise KeyError(f"{self.figure_id} has no column {name!r}; has {self.columns}")
+        return [row[name] for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned text table with the figure header."""
+        columns = self.columns
+        cells = [[_format_cell(row[c]) for c in columns] for row in self.rows]
+        widths = [
+            max(len(column), max(len(row[i]) for row in cells))
+            for i, column in enumerate(columns)
+        ]
+        out = io.StringIO()
+        out.write(f"== {self.figure_id}: {self.title} ==\n")
+        header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+        out.write(header + "\n")
+        out.write("-" * len(header) + "\n")
+        for row in cells:
+            out.write("  ".join(c.rjust(w) for c, w in zip(row, widths)) + "\n")
+        if self.notes:
+            out.write(f"note: {self.notes}\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Comma-separated rendering (raw values, no formatting)."""
+        columns = self.columns
+        lines = [",".join(columns)]
+        for row in self.rows:
+            lines.append(",".join(str(row[c]) for c in columns))
+        return "\n".join(lines) + "\n"
+
+
+def make_result(
+    figure_id: str,
+    title: str,
+    rows: Sequence[Mapping[str, object]],
+    notes: str = "",
+) -> FigureResult:
+    """Convenience constructor normalizing ``rows`` to a tuple."""
+    return FigureResult(figure_id, title, tuple(rows), notes)

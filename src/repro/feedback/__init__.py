@@ -1,0 +1,15 @@
+"""Query-feedback-adaptive selectivity estimation (paper §6, future work).
+
+The paper's third future-work item: "we will include the knowledge of
+previous queries to improve the quality of kernel estimators", citing
+Chen & Roussopoulos (SIGMOD 1994).  :mod:`repro.feedback.adaptive`
+implements that idea over the histogram machinery: an estimator that
+starts from any prior (uniform, or a sample-built histogram) and
+refines its bin frequencies from observed ``(query, true result
+size)`` pairs as the workload executes.
+"""
+
+from repro.feedback.adaptive import AdaptiveHistogram
+from repro.feedback.kernel_feedback import FeedbackKernelEstimator
+
+__all__ = ["AdaptiveHistogram", "FeedbackKernelEstimator"]

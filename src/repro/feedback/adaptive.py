@@ -1,0 +1,168 @@
+"""Adaptive selectivity estimation from query feedback.
+
+After a query executes, the system knows its *exact* result size for
+free.  Chen & Roussopoulos (1994) use that feedback to refine an
+approximate distribution without ever re-scanning the data; this
+module implements the idea over an equi-width frequency vector:
+
+1. Estimate the query's selectivity from the current bin frequencies.
+2. Observe the true selectivity.
+3. Distribute the error over the bins the query overlaps,
+   proportionally to each bin's overlapped mass (so already-heavy
+   bins absorb more of a positive error), damped by a learning rate.
+
+Frequencies stay non-negative; total mass stays 1 by construction —
+the update is a redistribution between the query region and its
+complement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import InvalidQueryError, InvalidSampleError, validate_query
+from repro.data.domain import Interval
+
+
+class AdaptiveHistogram:
+    """An equi-width frequency model refined by query feedback.
+
+    Parameters
+    ----------
+    domain:
+        Attribute domain.
+    bins:
+        Grid resolution.
+    prior:
+        Optional initial bin masses (length ``bins``, summing to 1).
+        Defaults to the uniform assumption — the interesting case,
+        because feedback then has to discover the distribution from
+        nothing.
+    learning_rate:
+        Fraction of each observed error applied per update (0, 1].
+    """
+
+    def __init__(
+        self,
+        domain: Interval,
+        bins: int = 64,
+        prior: np.ndarray | None = None,
+        learning_rate: float = 0.5,
+    ) -> None:
+        if bins < 1:
+            raise InvalidSampleError(f"need at least one bin, got {bins}")
+        if not 0.0 < learning_rate <= 1.0:
+            raise InvalidSampleError(
+                f"learning_rate must be in (0, 1], got {learning_rate}"
+            )
+        self._domain = domain
+        self._edges = np.linspace(domain.low, domain.high, bins + 1)
+        self._widths = np.diff(self._edges)
+        if prior is None:
+            mass = np.full(bins, 1.0 / bins)
+        else:
+            mass = np.asarray(prior, dtype=np.float64).copy()
+            if mass.shape != (bins,):
+                raise InvalidSampleError(
+                    f"prior must have shape ({bins},), got {mass.shape}"
+                )
+            if np.any(mass < 0) or not np.isclose(mass.sum(), 1.0):
+                raise InvalidSampleError("prior must be non-negative and sum to 1")
+        self._mass = mass
+        self._rate = float(learning_rate)
+        self._updates = 0
+
+    @property
+    def sample_size(self) -> int:
+        """Feedback observations consumed so far."""
+        return self._updates
+
+    @property
+    def domain(self) -> Interval:
+        """Attribute domain."""
+        return self._domain
+
+    @property
+    def bin_masses(self) -> np.ndarray:
+        """Current bin probability masses (copy)."""
+        return self._mass.copy()
+
+    def _overlap(self, a: float, b: float) -> np.ndarray:
+        """Covered fraction of each bin by ``[a, b]``."""
+        covered = np.clip(
+            np.minimum(b, self._edges[1:]) - np.maximum(a, self._edges[:-1]), 0.0, None
+        )
+        return covered / self._widths
+
+    def selectivity(self, a: float, b: float) -> float:
+        """Estimated selectivity under the current frequencies."""
+        a, b = validate_query(a, b)
+        return float(np.clip(self._overlap(a, b) @ self._mass, 0.0, 1.0))
+
+    def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`selectivity`."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        out = np.empty(a.shape, dtype=np.float64)
+        flat_a, flat_b, flat_out = a.ravel(), b.ravel(), out.ravel()
+        for i in range(flat_a.size):
+            flat_out[i] = self.selectivity(flat_a[i], flat_b[i])
+        return out
+
+    def observe(self, a: float, b: float, true_selectivity: float) -> float:
+        """Feed back one executed query; returns the pre-update error.
+
+        The mass moved into (or out of) the query region is taken from
+        (or given to) the complement proportionally to the existing
+        masses, so the total stays exactly 1.
+        """
+        a, b = validate_query(a, b)
+        if not 0.0 <= true_selectivity <= 1.0:
+            raise InvalidQueryError(
+                f"true selectivity must be in [0, 1], got {true_selectivity}"
+            )
+        overlap = self._overlap(a, b)
+        inside = overlap @ self._mass
+        error = true_selectivity - inside
+        step = self._rate * error
+
+        inside_mass = overlap * self._mass
+        outside_mass = self._mass - inside_mass
+        inside_total = inside_mass.sum()
+        outside_total = outside_mass.sum()
+
+        if step > 0 and outside_total > 0:
+            # Pull mass from the complement into the query region,
+            # proportionally on both sides.
+            add = inside_mass / inside_total * step if inside_total > 0 else (
+                overlap * self._widths / (overlap @ self._widths) * step
+            )
+            remove = outside_mass / outside_total * step
+            self._mass = self._mass + add - remove
+        elif step < 0 and inside_total > 0:
+            remove = inside_mass / inside_total * (-step)
+            add = (
+                outside_mass / outside_total * (-step)
+                if outside_total > 0
+                else np.zeros_like(self._mass)
+            )
+            self._mass = self._mass - remove + add
+        self._mass = np.clip(self._mass, 0.0, None)
+        total = self._mass.sum()
+        if total > 0:
+            self._mass /= total
+        self._updates += 1
+        return float(error)
+
+    def observe_workload(
+        self, a: np.ndarray, b: np.ndarray, true_selectivities: np.ndarray
+    ) -> np.ndarray:
+        """Feed back a whole executed workload; returns per-query errors."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        true = np.asarray(true_selectivities, dtype=np.float64)
+        if not (a.shape == b.shape == true.shape):
+            raise InvalidQueryError("workload arrays must be parallel")
+        return np.array(
+            [self.observe(x, y, t) for x, y, t in zip(a, b, true)]
+        )

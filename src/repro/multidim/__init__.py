@@ -1,0 +1,40 @@
+"""Multidimensional selectivity estimation (paper §6, future work).
+
+The paper closes with: "First, we will consider multidimensional
+kernel estimators to estimate the selectivity of multidimensional
+range queries."  This package builds that extension for two
+dimensions — the case spatial databases need:
+
+* :mod:`repro.multidim.relation2d` — two-attribute relations with
+  exact rectangle counts and sampling.
+* :mod:`repro.multidim.kernel2d` — product-Epanechnikov kernel
+  estimator with per-axis reflection boundary treatment and the
+  multivariate normal scale rule.
+* :mod:`repro.multidim.histogram2d` — the 2-D equi-width histogram
+  baseline.
+* :mod:`repro.multidim.workload2d` — rectangle query files and MRE.
+"""
+
+from repro.multidim.histogram2d import EquiWidthHistogram2D
+from repro.multidim.kernel2d import (
+    KernelEstimator2D,
+    normal_scale_bandwidths_2d,
+    plugin_bandwidths_2d,
+)
+from repro.multidim.relation2d import Relation2D
+from repro.multidim.workload2d import (
+    QueryFile2D,
+    generate_query_file_2d,
+    mean_relative_error_2d,
+)
+
+__all__ = [
+    "EquiWidthHistogram2D",
+    "KernelEstimator2D",
+    "QueryFile2D",
+    "Relation2D",
+    "generate_query_file_2d",
+    "mean_relative_error_2d",
+    "normal_scale_bandwidths_2d",
+    "plugin_bandwidths_2d",
+]

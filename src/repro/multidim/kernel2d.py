@@ -1,0 +1,209 @@
+"""Product-kernel selectivity estimation for rectangle queries.
+
+The 2-D kernel density estimator with a product kernel is
+
+.. math::
+
+   \\hat f(x, y) = \\frac{1}{n h_x h_y} \\sum_i
+       K\\Big(\\frac{x - X_i}{h_x}\\Big) K\\Big(\\frac{y - Y_i}{h_y}\\Big)
+
+For *rectangle* queries the integral factorizes per sample into a
+product of two 1-D kernel masses, so the exact 1-D primitives carry
+over unchanged — no numerical integration appears:
+
+.. math::
+
+   \\hat\\sigma = \\frac{1}{n} \\sum_i
+       \\big[C(\\tfrac{b_x - X_i}{h_x}) - C(\\tfrac{a_x - X_i}{h_x})\\big]
+       \\cdot
+       \\big[C(\\tfrac{b_y - Y_i}{h_y}) - C(\\tfrac{a_y - Y_i}{h_y})\\big]
+
+Boundary treatment is per-axis sample reflection (the 1-D reflection
+argument applies axis-wise for product kernels on rectangle domains).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bandwidth.scale import robust_scale
+from repro.core.base import InvalidSampleError, validate_query
+from repro.core.kernel.functions import EPANECHNIKOV, KernelFunction, get_kernel
+from repro.data.domain import Interval
+
+#: Normal-scale constant for the bivariate product Epanechnikov kernel.
+#: From the multivariate AMISE (Scott 1992, eq. 6.42 specialized to
+#: d = 2, product Epanechnikov): ``h_j ~ 2.40 * s_j * n^(-1/6)``.
+EPANECHNIKOV_2D_CONSTANT = 2.40
+
+
+def plugin_bandwidths_2d(sample: np.ndarray, steps: int = 2) -> tuple[float, float]:
+    """Per-axis plug-in bandwidths for a product Epanechnikov kernel.
+
+    A full 2-D plug-in would estimate the bivariate curvature
+    functional; this practical variant runs the paper's 1-D direct
+    plug-in on each *marginal* and rescales from the 1-D rate
+    ``n^(-1/5)`` to the 2-D rate ``n^(-1/6)``.  Marginal structure is a
+    good proxy for joint structure on spatial data (corridors and
+    clusters project to sharp marginal features), and the rule inherits
+    the plug-in's key property: it shrinks hard when the data is
+    structured, where the normal scale rule oversmooths.
+    """
+    from repro.bandwidth.plugin import plugin_bandwidth
+
+    data = np.asarray(sample, dtype=np.float64)
+    if data.ndim != 2 or data.shape[1] != 2:
+        raise InvalidSampleError(f"sample must have shape (n, 2), got {data.shape}")
+    n = data.shape[0]
+    rate_shift = n ** (1.0 / 5.0 - 1.0 / 6.0)
+    return (
+        float(plugin_bandwidth(data[:, 0], steps=steps) * rate_shift),
+        float(plugin_bandwidth(data[:, 1], steps=steps) * rate_shift),
+    )
+
+
+def normal_scale_bandwidths_2d(sample: np.ndarray) -> tuple[float, float]:
+    """Per-axis normal-scale bandwidths for a product Epanechnikov kernel.
+
+    ``h_j = 2.40 * s_j * n^(-1/6)`` with the paper's robust scale per
+    axis; the ``n^(-1/(d+4))`` rate is the 2-D analogue of the 1-D
+    ``n^(-1/5)``.
+    """
+    data = np.asarray(sample, dtype=np.float64)
+    if data.ndim != 2 or data.shape[1] != 2:
+        raise InvalidSampleError(f"sample must have shape (n, 2), got {data.shape}")
+    n = data.shape[0]
+    factor = EPANECHNIKOV_2D_CONSTANT * n ** (-1.0 / 6.0)
+    return (
+        factor * robust_scale(data[:, 0]),
+        factor * robust_scale(data[:, 1]),
+    )
+
+
+class KernelEstimator2D:
+    """Product-kernel rectangle-selectivity estimator.
+
+    Parameters
+    ----------
+    sample:
+        Sample array of shape ``(n, 2)``.
+    bandwidths:
+        Per-axis bandwidths ``(h_x, h_y)``; default multivariate
+        normal scale rule.
+    domain_x, domain_y:
+        Optional attribute domains; when given, boundary-adjacent
+        samples are reflected per axis.
+    kernel:
+        1-D kernel used on both axes (Epanechnikov by default).
+    """
+
+    def __init__(
+        self,
+        sample: np.ndarray,
+        bandwidths: tuple[float, float] | None = None,
+        domain_x: Interval | None = None,
+        domain_y: Interval | None = None,
+        kernel: "KernelFunction | str" = EPANECHNIKOV,
+    ) -> None:
+        data = np.asarray(sample, dtype=np.float64)
+        if data.ndim != 2 or data.shape[1] != 2:
+            raise InvalidSampleError(f"sample must have shape (n, 2), got {data.shape}")
+        if data.shape[0] < 2:
+            raise InvalidSampleError("need at least two sample points")
+        if not np.all(np.isfinite(data)):
+            raise InvalidSampleError("sample contains NaN or infinite values")
+        if bandwidths is None:
+            bandwidths = normal_scale_bandwidths_2d(data)
+        hx, hy = float(bandwidths[0]), float(bandwidths[1])
+        if hx <= 0 or hy <= 0:
+            raise InvalidSampleError(f"bandwidths must be positive, got {(hx, hy)}")
+
+        self._kernel = get_kernel(kernel)
+        self._n = data.shape[0]
+        self._hx, self._hy = hx, hy
+        self._domain_x, self._domain_y = domain_x, domain_y
+
+        reach_x = hx * self._kernel.support
+        reach_y = hy * self._kernel.support
+        augmented = [data]
+        # Per-axis reflection: mirrored copies fold the leaked mass
+        # back into the domain (paper §3.2.1, applied axis-wise).
+        if domain_x is not None:
+            for low_edge, is_low in ((domain_x.low, True), (domain_x.high, False)):
+                if is_low:
+                    near = data[data[:, 0] < domain_x.low + reach_x]
+                else:
+                    near = data[data[:, 0] > domain_x.high - reach_x]
+                if near.size:
+                    mirrored = near.copy()
+                    mirrored[:, 0] = 2.0 * low_edge - mirrored[:, 0]
+                    augmented.append(mirrored)
+        if domain_y is not None:
+            for edge, is_low in ((domain_y.low, True), (domain_y.high, False)):
+                if is_low:
+                    near = data[data[:, 1] < domain_y.low + reach_y]
+                else:
+                    near = data[data[:, 1] > domain_y.high - reach_y]
+                if near.size:
+                    mirrored = near.copy()
+                    mirrored[:, 1] = 2.0 * edge - mirrored[:, 1]
+                    augmented.append(mirrored)
+        stacked = np.concatenate(augmented)
+        order = np.argsort(stacked[:, 0], kind="stable")
+        self._points = stacked[order]
+        self._points.flags.writeable = False
+        self._x = self._points[:, 0]
+
+    @property
+    def sample_size(self) -> int:
+        """Number of (original) sample points."""
+        return self._n
+
+    @property
+    def bandwidths(self) -> tuple[float, float]:
+        """Per-axis bandwidths ``(h_x, h_y)``."""
+        return self._hx, self._hy
+
+    def selectivity(self, ax: float, bx: float, ay: float, by: float) -> float:
+        """Estimated selectivity of the closed rectangle query."""
+        ax, bx = validate_query(ax, bx)
+        ay, by = validate_query(ay, by)
+        if self._domain_x is not None:
+            ax = max(ax, self._domain_x.low)
+            bx = min(bx, self._domain_x.high)
+        if self._domain_y is not None:
+            ay = max(ay, self._domain_y.low)
+            by = min(by, self._domain_y.high)
+        if ax > bx or ay > by:
+            return 0.0
+        reach_x = self._hx * self._kernel.support
+        lo = np.searchsorted(self._x, ax - reach_x, side="left")
+        hi = np.searchsorted(self._x, bx + reach_x, side="right")
+        window = self._points[lo:hi]
+        if window.shape[0] == 0:
+            return 0.0
+        mass_x = self._kernel.mass_between(
+            (ax - window[:, 0]) / self._hx, (bx - window[:, 0]) / self._hx
+        )
+        mass_y = self._kernel.mass_between(
+            (ay - window[:, 1]) / self._hy, (by - window[:, 1]) / self._hy
+        )
+        return float(np.clip((mass_x * mass_y).sum() / self._n, 0.0, 1.0))
+
+    def density(self, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        """Pointwise 2-D density at paired coordinates."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != y.shape:
+            raise InvalidSampleError("x and y must have the same shape")
+        out = np.empty(x.shape, dtype=np.float64)
+        flat_x, flat_y, flat_out = x.ravel(), y.ravel(), out.ravel()
+        reach_x = self._hx * self._kernel.support
+        for i in range(flat_x.size):
+            lo = np.searchsorted(self._x, flat_x[i] - reach_x, side="left")
+            hi = np.searchsorted(self._x, flat_x[i] + reach_x, side="right")
+            window = self._points[lo:hi]
+            kx = self._kernel.pdf((flat_x[i] - window[:, 0]) / self._hx)
+            ky = self._kernel.pdf((flat_y[i] - window[:, 1]) / self._hy)
+            flat_out[i] = (kx * ky).sum()
+        return out / (self._n * self._hx * self._hy)

@@ -1,0 +1,97 @@
+"""Rectangle-query workloads and error metrics for two dimensions.
+
+The 2-D analogue of :mod:`repro.workload`: fixed-size square queries
+centered on records (positions follow the data distribution), exact
+counts attached, and the paper's mean relative error.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.base import InvalidQueryError
+from repro.data.relation import _resolve_rng
+from repro.multidim.relation2d import Relation2D
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryFile2D:
+    """A batch of rectangle queries with exact result sizes."""
+
+    ax: np.ndarray
+    bx: np.ndarray
+    ay: np.ndarray
+    by: np.ndarray
+    true_counts: np.ndarray
+    relation_size: int
+
+    def __len__(self) -> int:
+        return int(self.ax.size)
+
+
+def generate_query_file_2d(
+    relation: Relation2D,
+    size_fraction: float,
+    n_queries: int = 300,
+    seed=None,
+) -> QueryFile2D:
+    """Square rectangle queries whose *area* is ``size_fraction`` of
+    the domain area, centered on records, rejected at the boundary."""
+    if not 0 < size_fraction < 1:
+        raise InvalidQueryError(f"size_fraction must be in (0, 1), got {size_fraction}")
+    if n_queries <= 0:
+        raise InvalidQueryError(f"n_queries must be positive, got {n_queries}")
+    rng = _resolve_rng(seed)
+    dom_x, dom_y = relation.domain_x, relation.domain_y
+    side = np.sqrt(size_fraction)
+    half_x = 0.5 * side * dom_x.width
+    half_y = 0.5 * side * dom_y.width
+
+    centers = np.empty((n_queries, 2), dtype=np.float64)
+    filled = 0
+    attempts = 0
+    while filled < n_queries:
+        attempts += 1
+        if attempts > 200:
+            raise InvalidQueryError(
+                "could not place enough rectangle queries inside the domain"
+            )
+        draw = relation.points[rng.integers(0, relation.size, size=2 * n_queries)]
+        inside = (
+            (draw[:, 0] >= dom_x.low + half_x)
+            & (draw[:, 0] <= dom_x.high - half_x)
+            & (draw[:, 1] >= dom_y.low + half_y)
+            & (draw[:, 1] <= dom_y.high - half_y)
+        )
+        accepted = draw[inside]
+        take = min(accepted.shape[0], n_queries - filled)
+        centers[filled : filled + take] = accepted[:take]
+        filled += take
+
+    ax = centers[:, 0] - half_x
+    bx = centers[:, 0] + half_x
+    ay = centers[:, 1] - half_y
+    by = centers[:, 1] + half_y
+    counts = np.array(
+        [relation.count(a, b, c, d) for a, b, c, d in zip(ax, bx, ay, by)],
+        dtype=np.int64,
+    )
+    return QueryFile2D(ax, bx, ay, by, counts, relation.size)
+
+
+def mean_relative_error_2d(estimator, queries: QueryFile2D) -> float:
+    """The paper's MRE over a 2-D query file (zero-result queries skipped)."""
+    errors = []
+    for i in range(len(queries)):
+        true = queries.true_counts[i]
+        if true == 0:
+            continue
+        estimate = estimator.selectivity(
+            queries.ax[i], queries.bx[i], queries.ay[i], queries.by[i]
+        )
+        errors.append(abs(estimate * queries.relation_size - true) / true)
+    if not errors:
+        raise ValueError("every query in the file has an empty true result")
+    return float(np.mean(errors))

@@ -1,0 +1,26 @@
+"""Online aggregation (paper §6 future work; Hellerstein et al. 1997).
+
+The paper's second future-work item: "we currently investigate how to
+apply kernel estimators to online processing of aggregate queries".
+This package implements that pipeline:
+
+* :mod:`repro.online.aggregator` — the online-aggregation substrate:
+  stream a relation in random order, maintain running estimates with
+  CLT confidence intervals, stop when the interval is tight enough.
+* The :class:`~repro.online.aggregator.OnlineKernelSelectivity`
+  estimator refines a kernel selectivity estimate (bandwidth and all)
+  as records stream in — the kernel-meets-online-aggregation study the
+  paper announces.
+"""
+
+from repro.online.aggregator import (
+    OnlineAggregate,
+    OnlineAggregator,
+    OnlineKernelSelectivity,
+)
+
+__all__ = [
+    "OnlineAggregate",
+    "OnlineAggregator",
+    "OnlineKernelSelectivity",
+]

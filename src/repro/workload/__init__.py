@@ -1,0 +1,32 @@
+"""Query workloads and error metrics (paper §5.1.2).
+
+:mod:`repro.workload.queries` generates the paper's size-separated
+query files ``F_D(s)`` — 1,000 range queries of a fixed size whose
+positions follow the data distribution — plus the position sweeps used
+for the boundary-error figures.  :mod:`repro.workload.metrics`
+implements the mean relative error (MRE) and mean absolute error the
+paper reports.
+"""
+
+from repro.workload.metrics import (
+    ErrorSummary,
+    mean_absolute_error,
+    mean_relative_error,
+    relative_errors,
+    signed_errors,
+    summarize_errors,
+)
+from repro.workload.queries import QueryFile, RangeQuery, generate_query_file, position_sweep
+
+__all__ = [
+    "ErrorSummary",
+    "QueryFile",
+    "RangeQuery",
+    "generate_query_file",
+    "mean_absolute_error",
+    "mean_relative_error",
+    "position_sweep",
+    "relative_errors",
+    "signed_errors",
+    "summarize_errors",
+]

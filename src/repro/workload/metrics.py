@@ -1,0 +1,104 @@
+"""Error metrics: the paper's MRE and MAE (§5.1.2).
+
+The headline metric is the **mean relative error**
+
+.. math::
+
+   MRE(D, s) = \\frac{1}{|F_D(s)|} \\sum_{Q(a,b) \\in F_D(s)}
+               \\frac{\\big| |Q(a,b)| - \\hat\\sigma(a,b) \\cdot |D| \\big|}{|Q(a,b)|}
+
+i.e. the estimated result size is compared against the exact result
+size, normalized by the exact size.  Queries with an empty true result
+are excluded from the MRE (the relative error is undefined there); the
+paper's query placement makes such queries rare because positions
+follow the data distribution.
+
+The **mean absolute error** is reported in units of records and is
+defined for every query.  The paper notes both metrics behaved alike.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.base import SelectivityEstimator
+from repro.workload.queries import QueryFile
+
+
+def estimated_counts(estimator: SelectivityEstimator, queries: QueryFile) -> np.ndarray:
+    """Estimated result sizes ``sigma_hat(a, b) * N`` for every query."""
+    selectivities = estimator.selectivities(queries.a, queries.b)
+    return selectivities * queries.relation_size
+
+
+def signed_errors(estimator: SelectivityEstimator, queries: QueryFile) -> np.ndarray:
+    """Per-query signed error ``estimated - true`` in record units.
+
+    This is the quantity plotted in the paper's Fig. 3 (boundary error
+    with sign).
+    """
+    return estimated_counts(estimator, queries) - queries.true_counts
+
+
+def relative_errors(estimator: SelectivityEstimator, queries: QueryFile) -> np.ndarray:
+    """Per-query relative error ``|est - true| / true``.
+
+    Queries with a zero true count yield ``NaN``; aggregate helpers
+    drop them.
+    """
+    true = queries.true_counts.astype(np.float64)
+    errors = np.abs(estimated_counts(estimator, queries) - true)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.where(true > 0, errors / true, np.nan)
+    return rel
+
+
+def mean_relative_error(estimator: SelectivityEstimator, queries: QueryFile) -> float:
+    """The paper's MRE, excluding zero-result queries."""
+    rel = relative_errors(estimator, queries)
+    valid = rel[~np.isnan(rel)]
+    if valid.size == 0:
+        raise ValueError("every query in the file has an empty true result")
+    return float(valid.mean())
+
+
+def mean_absolute_error(estimator: SelectivityEstimator, queries: QueryFile) -> float:
+    """Mean absolute error in record units."""
+    return float(np.abs(signed_errors(estimator, queries)).mean())
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorSummary:
+    """Aggregate error report for one estimator over one query file."""
+
+    mre: float
+    mae: float
+    max_relative: float
+    n_queries: int
+    n_zero_result: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MRE={self.mre:.2%} MAE={self.mae:.1f} records "
+            f"max-rel={self.max_relative:.2%} "
+            f"({self.n_queries} queries, {self.n_zero_result} empty)"
+        )
+
+
+def summarize_errors(estimator: SelectivityEstimator, queries: QueryFile) -> ErrorSummary:
+    """Compute MRE, MAE and extremes in one pass over the query file."""
+    rel = relative_errors(estimator, queries)
+    zero = int(np.isnan(rel).sum())
+    valid = rel[~np.isnan(rel)]
+    if valid.size == 0:
+        raise ValueError("every query in the file has an empty true result")
+    mae = mean_absolute_error(estimator, queries)
+    return ErrorSummary(
+        mre=float(valid.mean()),
+        mae=mae,
+        max_relative=float(valid.max()),
+        n_queries=len(queries),
+        n_zero_result=zero,
+    )

@@ -1,0 +1,255 @@
+"""Range queries and the paper's size-separated query files.
+
+A query file ``F_D(s)`` (paper §5.1.2) contains range queries of one
+fixed size ``s`` (a fraction of the domain width: the paper uses 1 %,
+2 %, 5 % and 10 %).  Query *positions* follow the data distribution —
+each query is centered on a randomly drawn record — and positions too
+close to the boundary are rejected so every query lies entirely inside
+the domain.
+
+:func:`position_sweep` builds the other workload shape the paper uses
+(Figs. 3 and 10): fixed-size queries whose centers sweep evenly across
+the domain, exposing the kernel boundary problem.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.base import InvalidQueryError, validate_query
+from repro.data.domain import IntegerDomain, Interval
+from repro.data.relation import Relation, _resolve_rng
+
+#: The paper's query sizes, as fractions of the domain width.
+PAPER_QUERY_SIZES = (0.01, 0.02, 0.05, 0.10)
+
+#: Number of queries per file in the paper.
+PAPER_QUERIES_PER_FILE = 1_000
+
+
+@dataclasses.dataclass(frozen=True)
+class RangeQuery:
+    """A closed range query ``Q(a, b)`` retrieving ``a <= r.A <= b``."""
+
+    a: float
+    b: float
+
+    def __post_init__(self) -> None:
+        a, b = validate_query(self.a, self.b)
+        object.__setattr__(self, "a", a)
+        object.__setattr__(self, "b", b)
+
+    @property
+    def width(self) -> float:
+        """Query extent ``b - a``."""
+        return self.b - self.a
+
+    @property
+    def center(self) -> float:
+        """Query midpoint."""
+        return 0.5 * (self.a + self.b)
+
+
+class QueryFile:
+    """A batch of fixed-size range queries with their true result sizes.
+
+    Instances are immutable.  The true counts are evaluated once
+    against the relation the file was generated from, so error metrics
+    never have to touch the full relation again.
+    """
+
+    def __init__(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        true_counts: np.ndarray,
+        relation_size: int,
+        *,
+        size_fraction: float | None = None,
+        dataset: str = "",
+    ) -> None:
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        true_counts = np.asarray(true_counts, dtype=np.int64)
+        if not (a.shape == b.shape == true_counts.shape) or a.ndim != 1:
+            raise InvalidQueryError("query file arrays must be parallel 1-D arrays")
+        if a.size == 0:
+            raise InvalidQueryError("query file must contain at least one query")
+        if np.any(a > b):
+            raise InvalidQueryError("query file contains an empty range (a > b)")
+        if relation_size <= 0:
+            raise InvalidQueryError(f"relation size must be positive, got {relation_size}")
+        self._a = a
+        self._b = b
+        self._true_counts = true_counts
+        self._relation_size = int(relation_size)
+        self._size_fraction = size_fraction
+        self._dataset = dataset
+        for array in (self._a, self._b, self._true_counts):
+            array.flags.writeable = False
+
+    @property
+    def a(self) -> np.ndarray:
+        """Lower endpoints (read-only)."""
+        return self._a
+
+    @property
+    def b(self) -> np.ndarray:
+        """Upper endpoints (read-only)."""
+        return self._b
+
+    @property
+    def true_counts(self) -> np.ndarray:
+        """Exact result sizes ``|Q(a, b)|`` (read-only)."""
+        return self._true_counts
+
+    @property
+    def relation_size(self) -> int:
+        """Number of records ``N`` in the underlying relation."""
+        return self._relation_size
+
+    @property
+    def size_fraction(self) -> float | None:
+        """The fixed query size ``s``, when the file is size-separated."""
+        return self._size_fraction
+
+    @property
+    def dataset(self) -> str:
+        """Name of the data file the queries were generated against."""
+        return self._dataset
+
+    def __len__(self) -> int:
+        return int(self._a.size)
+
+    def __iter__(self):
+        for qa, qb in zip(self._a, self._b):
+            yield RangeQuery(float(qa), float(qb))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        size = f"{self._size_fraction:.0%}" if self._size_fraction else "mixed"
+        return f"QueryFile({self._dataset or 'anon'}, s={size}, {len(self)} queries)"
+
+
+def generate_query_file(
+    relation: Relation,
+    size_fraction: float,
+    n_queries: int = PAPER_QUERIES_PER_FILE,
+    seed: "int | np.random.Generator | None" = None,
+    *,
+    align_to_grid: bool | None = None,
+) -> QueryFile:
+    """Generate the paper's query file ``F_D(s)``.
+
+    Queries have fixed width ``size_fraction * domain.width`` and are
+    centered on records drawn (with replacement) from the relation, so
+    the position distribution follows the data distribution.  Centers
+    whose query would stick out of the domain are rejected, matching
+    the paper's protocol.
+
+    ``align_to_grid`` controls integer-query semantics: when on
+    (default for :class:`IntegerDomain` attributes), query endpoints
+    land on half-integers so every query covers whole grid values —
+    a range predicate on an integer attribute has integer bounds.
+    Without alignment, fractionally covered grid points add an
+    irreducible quantization error on small domains.
+
+    Raises
+    ------
+    InvalidQueryError
+        If the parameters are out of range or rejection cannot find
+        enough in-domain positions (pathologically boundary-heavy data).
+    """
+    if not 0 < size_fraction < 1:
+        raise InvalidQueryError(f"size_fraction must be in (0, 1), got {size_fraction}")
+    if n_queries <= 0:
+        raise InvalidQueryError(f"n_queries must be positive, got {n_queries}")
+    rng = _resolve_rng(seed)
+    domain = relation.domain
+    if align_to_grid is None:
+        align_to_grid = isinstance(domain, IntegerDomain)
+    width = size_fraction * domain.width
+    if align_to_grid:
+        # Whole-value queries: an odd number of covered grid points
+        # keeps the drawn record at the exact query center.
+        width = max(1.0, float(round(width)))
+    half = 0.5 * width
+    lo_center = domain.low + half
+    hi_center = domain.high - half
+
+    centers = np.empty(n_queries, dtype=np.float64)
+    filled = 0
+    attempts = 0
+    while filled < n_queries:
+        attempts += 1
+        if attempts > 200:
+            raise InvalidQueryError(
+                f"could not place {n_queries} size-{size_fraction:.0%} queries inside the "
+                f"domain after {attempts} rounds; data mass sits too close to the boundary"
+            )
+        draw = relation.values[rng.integers(0, relation.size, size=2 * n_queries)]
+        accepted = draw[(draw >= lo_center) & (draw <= hi_center)]
+        take = min(accepted.size, n_queries - filled)
+        centers[filled : filled + take] = accepted[:take]
+        filled += take
+
+    a = centers - half
+    b = centers + half
+    if align_to_grid:
+        # Snap endpoints to half-integers (cell boundaries) and keep
+        # the query inside the domain.
+        a = np.floor(a) + 0.5
+        b = a + width
+        shift = np.maximum(domain.low - a, 0.0) - np.maximum(b - domain.high, 0.0)
+        a = a + shift
+        b = b + shift
+    counts = _bulk_counts(relation, a, b)
+    return QueryFile(
+        a,
+        b,
+        counts,
+        relation.size,
+        size_fraction=size_fraction,
+        dataset=relation.name,
+    )
+
+
+def position_sweep(
+    relation: Relation,
+    size_fraction: float,
+    n_positions: int = 200,
+) -> QueryFile:
+    """Fixed-size queries whose centers sweep evenly across the domain.
+
+    Used by the boundary-problem experiments (paper Figs. 3 and 10):
+    the first query starts at the left domain edge and the last ends at
+    the right edge, so queries near the sweep ends sit within one
+    bandwidth of a boundary.
+    """
+    if not 0 < size_fraction < 1:
+        raise InvalidQueryError(f"size_fraction must be in (0, 1), got {size_fraction}")
+    if n_positions < 2:
+        raise InvalidQueryError(f"n_positions must be >= 2, got {n_positions}")
+    domain = relation.domain
+    half = 0.5 * size_fraction * domain.width
+    centers = np.linspace(domain.low + half, domain.high - half, n_positions)
+    a = centers - half
+    b = centers + half
+    counts = _bulk_counts(relation, a, b)
+    return QueryFile(
+        a,
+        b,
+        counts,
+        relation.size,
+        size_fraction=size_fraction,
+        dataset=relation.name,
+    )
+
+
+def _bulk_counts(relation: Relation, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact result sizes for parallel endpoint arrays in one pass."""
+    values = relation.values
+    lo = np.searchsorted(values, a, side="left")
+    hi = np.searchsorted(values, b, side="right")
+    return (hi - lo).astype(np.int64)

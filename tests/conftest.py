@@ -1,0 +1,57 @@
+"""Shared fixtures for the test suite.
+
+Heavy artefacts (paper data files, query files) are session-scoped;
+everything else builds tiny deterministic inputs per test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.domain import IntegerDomain, Interval
+from repro.data.relation import Relation
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def unit_interval() -> Interval:
+    return Interval(0.0, 1.0)
+
+
+@pytest.fixture()
+def small_domain() -> IntegerDomain:
+    """A 1,024-value integer domain."""
+    return IntegerDomain(10)
+
+
+@pytest.fixture()
+def uniform_sample(rng: np.random.Generator) -> np.ndarray:
+    """500 uniform values on [0, 1]."""
+    return rng.uniform(0.0, 1.0, size=500)
+
+
+@pytest.fixture()
+def normal_sample(rng: np.random.Generator) -> np.ndarray:
+    """1,000 standard normal values (unbounded domain)."""
+    return rng.normal(0.0, 1.0, size=1_000)
+
+
+@pytest.fixture()
+def small_relation(rng: np.random.Generator, small_domain: IntegerDomain) -> Relation:
+    """10,000 integer records, roughly normal around the domain center."""
+    values = small_domain.snap(rng.normal(small_domain.center, small_domain.width / 6, 10_000))
+    return Relation(values, small_domain, name="test-normal")
+
+
+@pytest.fixture(scope="session")
+def n20_context():
+    """The paper's n(20) file with a 2,000-record sample and 1% queries."""
+    from repro.experiments.harness import FAST, load_context
+
+    return load_context("n(20)", FAST)

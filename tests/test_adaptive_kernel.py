@@ -1,0 +1,103 @@
+"""Tests for adaptive-bandwidth kernels (repro.core.kernel.adaptive)."""
+
+import numpy as np
+import pytest
+
+from repro.bandwidth.normal_scale import kernel_bandwidth
+from repro.core.base import InvalidSampleError
+from repro.core.kernel import AdaptiveKernelEstimator, make_kernel_estimator
+from repro.data.domain import Interval
+
+
+@pytest.fixture()
+def skewed_sample():
+    """Exponential-ish: dense near zero, long sparse tail."""
+    rng = np.random.default_rng(0)
+    return np.clip(rng.exponential(1.0, 1_500), 0.0, 10.0)
+
+
+class TestConstruction:
+    def test_rejects_bad_alpha(self, skewed_sample):
+        with pytest.raises(InvalidSampleError):
+            AdaptiveKernelEstimator(skewed_sample, 0.5, alpha=0.0)
+
+    def test_rejects_bad_bandwidth(self, skewed_sample):
+        with pytest.raises(InvalidSampleError):
+            AdaptiveKernelEstimator(skewed_sample, -1.0)
+
+    def test_bandwidths_vary_with_density(self, skewed_sample):
+        est = AdaptiveKernelEstimator(skewed_sample, 0.5)
+        order = np.argsort(est._points)
+        bandwidths = est.bandwidths
+        # Narrow kernels in the dense head, wide kernels in the tail.
+        head = bandwidths[est._points < 0.5].mean()
+        tail = bandwidths[est._points > 4.0].mean()
+        assert head < tail
+        del order
+
+    def test_alpha_zero_limit_is_fixed_bandwidth(self, skewed_sample):
+        """alpha -> 0 recovers the fixed-h estimator (up to pilot noise)."""
+        est = AdaptiveKernelEstimator(skewed_sample, 0.5, alpha=1e-9)
+        np.testing.assert_allclose(est.bandwidths, 0.5, rtol=1e-6)
+
+
+class TestSelectivity:
+    def test_total_mass_one_unbounded(self, skewed_sample):
+        est = AdaptiveKernelEstimator(skewed_sample, 0.5)
+        assert est.selectivity(-100.0, 200.0) == pytest.approx(1.0)
+
+    def test_total_mass_one_with_domain(self, skewed_sample):
+        domain = Interval(0.0, 10.0)
+        est = AdaptiveKernelEstimator(skewed_sample, 0.5, domain=domain)
+        assert est.selectivity(0.0, 10.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_density_integrates_to_selectivity(self, skewed_sample):
+        est = AdaptiveKernelEstimator(skewed_sample, 0.5)
+        grid = np.linspace(0.5, 3.0, 4001)
+        numeric = np.trapezoid(est.density(grid), grid)
+        assert numeric == pytest.approx(est.selectivity(0.5, 3.0), abs=1e-4)
+
+    def test_vectorized_matches_scalar(self, skewed_sample):
+        est = AdaptiveKernelEstimator(skewed_sample, 0.5)
+        a = np.array([0.0, 1.0, 2.5])
+        b = np.array([0.5, 2.0, 6.0])
+        batch = est.selectivities(a, b)
+        singles = [est.selectivity(x, y) for x, y in zip(a, b)]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_monotone(self, skewed_sample):
+        est = AdaptiveKernelEstimator(skewed_sample, 0.5)
+        assert est.selectivity(0.0, 1.0) <= est.selectivity(0.0, 2.0)
+
+
+class TestAccuracy:
+    def test_beats_fixed_bandwidth_in_sparse_tail(self):
+        """The adaptive estimator's raison d'être: with a bandwidth
+        sized for the dense head, the fixed-h estimator is far too
+        spiky in the tail; Abramson widening fixes the tail without
+        ruining the head."""
+        rng = np.random.default_rng(7)
+        data = np.clip(rng.exponential(1.0, 200_000), 0.0, 20.0)
+        sample = rng.choice(data, 2_000, replace=False)
+        domain = Interval(0.0, 20.0)
+
+        h = kernel_bandwidth(sample) / 3.0  # head-sized bandwidth
+        fixed = make_kernel_estimator(sample, h, domain, boundary="reflection")
+        adaptive = AdaptiveKernelEstimator(sample, h, domain=domain)
+
+        # Tail queries where data is sparse.
+        tail_queries = [(5.0, 5.5), (6.0, 6.5), (7.0, 7.5), (8.0, 8.5)]
+        values = np.sort(data)
+
+        def mre(estimator):
+            errors = []
+            for a, b in tail_queries:
+                true = (
+                    np.searchsorted(values, b, "right")
+                    - np.searchsorted(values, a, "left")
+                ) / data.size
+                if true > 0:
+                    errors.append(abs(estimator.selectivity(a, b) - true) / true)
+            return np.mean(errors)
+
+        assert mre(adaptive) < mre(fixed)

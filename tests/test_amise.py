@@ -1,0 +1,97 @@
+"""Tests for AMISE formulas (repro.bandwidth.amise)."""
+
+import numpy as np
+import pytest
+from scipy import integrate, stats
+
+from repro.bandwidth.amise import (
+    amise_histogram,
+    amise_kernel,
+    exponential_roughness,
+    normal_roughness,
+    optimal_bandwidth,
+    optimal_bin_width,
+)
+from repro.core.base import InvalidSampleError
+
+
+class TestRoughnessFunctionals:
+    @pytest.mark.parametrize("order", [0, 1, 2])
+    @pytest.mark.parametrize("sigma", [0.5, 1.0, 3.0])
+    @pytest.mark.filterwarnings("ignore::scipy.integrate.IntegrationWarning")
+    def test_normal_roughness_numeric(self, order, sigma):
+        pdf = lambda x: stats.norm.pdf(x, scale=sigma)
+        eps = 1e-5
+
+        def derivative(x):
+            if order == 0:
+                return pdf(x)
+            if order == 1:
+                return (pdf(x + eps) - pdf(x - eps)) / (2 * eps)
+            return (pdf(x + eps) - 2 * pdf(x) + pdf(x - eps)) / eps**2
+
+        numeric, _ = integrate.quad(
+            lambda x: derivative(x) ** 2, -10 * sigma, 10 * sigma, limit=400
+        )
+        assert normal_roughness(order, sigma) == pytest.approx(numeric, rel=1e-3)
+
+    @pytest.mark.parametrize("order", [0, 1, 2])
+    def test_exponential_roughness_numeric(self, order):
+        rate = 1.7
+        numeric, _ = integrate.quad(
+            lambda x: (rate ** (order + 1) * np.exp(-rate * x)) ** 2, 0, 60, limit=400
+        )
+        assert exponential_roughness(order, rate) == pytest.approx(numeric, rel=1e-6)
+
+    def test_unsupported_order_raises(self):
+        with pytest.raises(InvalidSampleError):
+            normal_roughness(3)
+        with pytest.raises(InvalidSampleError):
+            exponential_roughness(-1)
+
+
+class TestOptimizers:
+    def test_optimal_bin_width_minimizes_amise(self):
+        n, roughness = 2_000, 0.35
+        best = optimal_bin_width(n, roughness)
+        base = amise_histogram(best, n, roughness)
+        for factor in (0.5, 0.8, 1.25, 2.0):
+            assert amise_histogram(best * factor, n, roughness) > base
+
+    def test_optimal_bandwidth_minimizes_amise(self):
+        n, roughness = 2_000, 0.2
+        best = optimal_bandwidth(n, roughness)
+        base = amise_kernel(best, n, roughness)
+        for factor in (0.5, 0.8, 1.25, 2.0):
+            assert amise_kernel(best * factor, n, roughness) > base
+
+    def test_paper_convergence_rates(self):
+        """AMISE at the optimum scales as n^(-2/3) (histogram) and
+        n^(-4/5) (kernel) — the rates quoted in paper §§4.1-4.2."""
+        roughness = 1.0
+        for formula, opt, rate in [
+            (amise_histogram, optimal_bin_width, -2 / 3),
+            (amise_kernel, optimal_bandwidth, -4 / 5),
+        ]:
+            a = formula(opt(1_000, roughness), 1_000, roughness)
+            b = formula(opt(100_000, roughness), 100_000, roughness)
+            observed = np.log(b / a) / np.log(100.0)
+            assert observed == pytest.approx(rate, abs=0.01)
+
+    def test_kernel_beats_histogram_asymptotically(self):
+        """For the same underlying density the kernel optimum has lower
+        AMISE at large n."""
+        n = 100_000
+        r1 = normal_roughness(1)
+        r2 = normal_roughness(2)
+        hist = amise_histogram(optimal_bin_width(n, r1), n, r1)
+        kern = amise_kernel(optimal_bandwidth(n, r2), n, r2)
+        assert kern < hist
+
+    def test_rejects_nonpositive_inputs(self):
+        with pytest.raises(InvalidSampleError):
+            optimal_bin_width(0, 1.0)
+        with pytest.raises(InvalidSampleError):
+            optimal_bandwidth(100, -1.0)
+        with pytest.raises(InvalidSampleError):
+            amise_histogram(0.0, 100, 1.0)

@@ -1,0 +1,87 @@
+"""Tests for the estimator interfaces (repro.core.base)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import (
+    InvalidQueryError,
+    InvalidSampleError,
+    SelectivityEstimator,
+    validate_query,
+    validate_sample,
+)
+from repro.data.domain import Interval
+
+
+class TestValidateSample:
+    def test_passes_clean_sample(self):
+        out = validate_sample([1.0, 2.0, 3.0])
+        assert out.dtype == np.float64
+        assert out.flags.c_contiguous
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidSampleError):
+            validate_sample([])
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidSampleError):
+            validate_sample(np.zeros((3, 3)))
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(InvalidSampleError):
+            validate_sample([1.0, np.nan])
+        with pytest.raises(InvalidSampleError):
+            validate_sample([1.0, np.inf])
+
+    def test_domain_bounds_enforced(self):
+        with pytest.raises(InvalidSampleError):
+            validate_sample([0.5, 1.5], Interval(0.0, 1.0))
+
+    def test_domain_bounds_inclusive(self):
+        out = validate_sample([0.0, 1.0], Interval(0.0, 1.0))
+        assert out.size == 2
+
+
+class TestValidateQuery:
+    def test_valid_range(self):
+        assert validate_query(1, 2.5) == (1.0, 2.5)
+
+    def test_point_query_ok(self):
+        assert validate_query(3.0, 3.0) == (3.0, 3.0)
+
+    def test_rejects_inverted(self):
+        with pytest.raises(InvalidQueryError):
+            validate_query(2.0, 1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidQueryError):
+            validate_query(np.nan, 1.0)
+
+
+class _Half(SelectivityEstimator):
+    """Always returns 0.5; exercises the ABC default methods."""
+
+    @property
+    def sample_size(self) -> int:
+        return 7
+
+    def selectivity(self, a: float, b: float) -> float:
+        return 0.5
+
+
+class TestDefaultMethods:
+    def test_selectivities_loops_over_scalar_impl(self):
+        est = _Half()
+        out = est.selectivities(np.zeros(4), np.ones(4))
+        np.testing.assert_allclose(out, 0.5)
+
+    def test_selectivities_shape_mismatch(self):
+        with pytest.raises(InvalidQueryError):
+            _Half().selectivities(np.zeros(2), np.ones(3))
+
+    def test_estimate_result_size(self):
+        assert _Half().estimate_result_size(0.0, 1.0, 2_000) == 1_000.0
+
+    def test_estimate_result_size_rejects_negative_relation(self):
+        with pytest.raises(InvalidQueryError):
+            _Half().estimate_result_size(0.0, 1.0, -5)

@@ -1,0 +1,108 @@
+"""Tests for linear-binned KDE (repro.core.kernel.binned)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidSampleError
+from repro.core.kernel.binned import BinnedKernelDensity, linear_bin
+from repro.core.kernel.density import KernelDensity
+from repro.data.domain import Interval
+
+
+class TestLinearBin:
+    def test_weights_sum_to_sample_size(self):
+        rng = np.random.default_rng(0)
+        sample = rng.uniform(0, 10, 777)
+        grid = np.linspace(0, 10, 64)
+        assert linear_bin(sample, grid).sum() == pytest.approx(777.0)
+
+    def test_exact_on_grid_point(self):
+        grid = np.linspace(0.0, 10.0, 11)
+        weights = linear_bin(np.array([3.0]), grid)
+        assert weights[3] == pytest.approx(1.0)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_split_between_neighbours(self):
+        grid = np.linspace(0.0, 10.0, 11)
+        weights = linear_bin(np.array([3.25]), grid)
+        assert weights[3] == pytest.approx(0.75)
+        assert weights[4] == pytest.approx(0.25)
+
+    def test_out_of_grid_clamps(self):
+        grid = np.linspace(0.0, 10.0, 11)
+        weights = linear_bin(np.array([-5.0, 15.0]), grid)
+        assert weights[0] == pytest.approx(1.0)
+        assert weights[-1] == pytest.approx(1.0)
+
+    def test_preserves_first_moment(self):
+        """Linear binning is exact for means (its defining property)."""
+        rng = np.random.default_rng(1)
+        sample = rng.uniform(0, 10, 500)
+        grid = np.linspace(0, 10, 101)
+        weights = linear_bin(sample, grid)
+        assert (weights @ grid) / weights.sum() == pytest.approx(sample.mean())
+
+    def test_rejects_bad_grid(self):
+        with pytest.raises(InvalidSampleError):
+            linear_bin(np.array([1.0]), np.array([5.0]))
+        with pytest.raises(InvalidSampleError):
+            linear_bin(np.array([1.0]), np.array([0.0, 1.0, 5.0]))
+
+
+class TestBinnedKernelDensity:
+    @pytest.fixture()
+    def sample(self):
+        return np.random.default_rng(2).normal(5.0, 1.0, 3_000).clip(0, 10)
+
+    @pytest.mark.parametrize("order", [0, 1, 2])
+    def test_matches_exact_kde(self, sample, order):
+        domain = Interval(0.0, 10.0)
+        g = 0.3
+        exact = KernelDensity(sample, g, domain)
+        binned = BinnedKernelDensity(sample, g, domain, grid_points=2_048)
+        x = np.linspace(1.0, 9.0, 41)
+        np.testing.assert_allclose(
+            binned.derivative(x, order),
+            exact.derivative(x, order),
+            rtol=0.02,
+            atol=0.01 * np.abs(exact.derivative(x, order)).max(),
+        )
+
+    def test_density_integrates_to_one(self, sample):
+        binned = BinnedKernelDensity(sample, 0.3, grid_points=1_024)
+        grid = binned.grid
+        assert np.trapezoid(binned.density(grid), grid) == pytest.approx(1.0, abs=0.01)
+
+    def test_roughness_matches_exact(self, sample):
+        domain = Interval(0.0, 10.0)
+        g = 0.3
+        exact = KernelDensity(sample, g, domain).roughness(2, points=2_048)
+        binned = BinnedKernelDensity(sample, g, domain, grid_points=2_048).roughness(2)
+        assert binned == pytest.approx(exact, rel=0.05)
+
+    def test_rejects_tiny_grid(self, sample):
+        with pytest.raises(InvalidSampleError):
+            BinnedKernelDensity(sample, 0.3, grid_points=4)
+
+    def test_rejects_bad_order(self, sample):
+        binned = BinnedKernelDensity(sample, 0.3)
+        with pytest.raises(InvalidSampleError):
+            binned.derivative(np.zeros(1), order=7)
+
+    def test_much_faster_than_exact_for_large_samples(self):
+        """The point of binning: grid evaluation independent of n."""
+        import time
+
+        rng = np.random.default_rng(3)
+        sample = rng.normal(0, 1, 60_000)
+        x = np.linspace(-3, 3, 400)
+
+        t0 = time.perf_counter()
+        BinnedKernelDensity(sample, 0.1, grid_points=1_024).derivative(x, 2)
+        binned_time = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        KernelDensity(sample, 0.1).derivative(x, 2)
+        exact_time = time.perf_counter() - t0
+
+        assert binned_time < exact_time

@@ -1,0 +1,151 @@
+"""Tests for boundary treatments (repro.core.kernel.boundary)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidSampleError
+from repro.core.kernel.boundary import (
+    BoundaryKernelEstimator,
+    ReflectionKernelEstimator,
+    boundary_kernel_pdf,
+    make_kernel_estimator,
+)
+from repro.core.kernel.estimator import KernelSelectivityEstimator
+from repro.data.domain import Interval
+
+
+@pytest.fixture()
+def domain():
+    return Interval(0.0, 10.0)
+
+
+@pytest.fixture()
+def sample():
+    return np.random.default_rng(4).uniform(0.0, 10.0, 1_000)
+
+
+class TestReflection:
+    def test_density_integrates_to_one_over_domain(self, sample, domain):
+        est = ReflectionKernelEstimator(sample, 1.0, domain)
+        assert est.selectivity(domain.low, domain.high) == pytest.approx(1.0, abs=1e-9)
+
+    def test_normalization_uses_original_n(self, sample, domain):
+        est = ReflectionKernelEstimator(sample, 1.0, domain)
+        assert est.sample_size == sample.size
+
+    def test_reduces_boundary_error(self, sample, domain):
+        plain = KernelSelectivityEstimator(sample, 1.0, domain=domain)
+        reflected = ReflectionKernelEstimator(sample, 1.0, domain)
+        true = 0.1  # uniform data
+        assert abs(reflected.selectivity(0.0, 1.0) - true) < abs(
+            plain.selectivity(0.0, 1.0) - true
+        )
+
+    def test_interior_unchanged(self, sample, domain):
+        plain = KernelSelectivityEstimator(sample, 1.0, domain=domain)
+        reflected = ReflectionKernelEstimator(sample, 1.0, domain)
+        assert reflected.selectivity(4.0, 6.0) == pytest.approx(
+            plain.selectivity(4.0, 6.0), abs=1e-12
+        )
+
+    def test_queries_clipped_to_domain(self, sample, domain):
+        est = ReflectionKernelEstimator(sample, 1.0, domain)
+        assert est.selectivity(-100.0, 100.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_density_zero_outside_domain(self, sample, domain):
+        est = ReflectionKernelEstimator(sample, 1.0, domain)
+        assert est.density(np.array([-0.5, 10.5])).tolist() == [0.0, 0.0]
+
+
+class TestBoundaryKernelPdf:
+    def test_reduces_to_epanechnikov_at_q_one(self):
+        t = np.linspace(-1, 1, 21)
+        np.testing.assert_allclose(
+            boundary_kernel_pdf(t, 1.0), 0.75 * (1 - t * t), atol=1e-12
+        )
+
+    def test_zero_outside_support(self):
+        assert boundary_kernel_pdf(0.8, 0.5) == 0.0  # t > q
+        assert boundary_kernel_pdf(-1.2, 0.5) == 0.0  # t < -1
+
+    def test_integrates_to_one_for_each_q(self):
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            t = np.linspace(-1.0, q, 20_001)
+            mass = np.trapezoid(boundary_kernel_pdf(t, q), t)
+            assert mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_can_be_negative(self):
+        """Boundary kernels dip negative near t = -1 — the price of
+        consistency (paper §3.2.1)."""
+        assert boundary_kernel_pdf(-0.99, 0.0) < 0.0
+
+
+class TestBoundaryKernelEstimator:
+    def test_requires_epanechnikov(self, sample, domain):
+        with pytest.raises(InvalidSampleError):
+            BoundaryKernelEstimator(sample, 1.0, domain, kernel="gaussian")
+
+    def test_rejects_oversized_bandwidth(self, sample, domain):
+        with pytest.raises(InvalidSampleError):
+            BoundaryKernelEstimator(sample, 5.1, domain)
+
+    def test_selectivity_matches_density_integral(self, sample, domain):
+        """Closed-form primitives vs. numerical integration across all
+        three regions (left boundary, interior, right boundary).  The
+        API clips to [0, 1], so the comparison clips the integral too —
+        boundary-kernel densities integrate to slightly over one (the
+        consistency-vs-density trade-off of paper §3.2.1)."""
+        est = BoundaryKernelEstimator(sample, 1.3, domain)
+        for a, b in [(0.0, 0.9), (0.5, 2.1), (4.0, 6.0), (8.2, 10.0), (0.0, 10.0)]:
+            grid = np.linspace(a, b, 8001)
+            numeric = np.clip(np.trapezoid(est.density(grid), grid), 0.0, 1.0)
+            assert est.selectivity(a, b) == pytest.approx(numeric, abs=5e-5)
+
+    def test_interior_matches_plain_kernel(self, sample, domain):
+        plain = KernelSelectivityEstimator(sample, 1.0, domain=domain)
+        treated = BoundaryKernelEstimator(sample, 1.0, domain)
+        assert treated.selectivity(2.0, 8.0) == pytest.approx(
+            plain.selectivity(2.0, 8.0), abs=1e-12
+        )
+
+    def test_reduces_boundary_error(self, sample, domain):
+        plain = KernelSelectivityEstimator(sample, 1.0, domain=domain)
+        treated = BoundaryKernelEstimator(sample, 1.0, domain)
+        true = 0.1
+        assert abs(treated.selectivity(0.0, 1.0) - true) < abs(
+            plain.selectivity(0.0, 1.0) - true
+        )
+
+    def test_consistent_at_boundary(self, domain):
+        """With plenty of data the boundary estimate converges to the
+        truth — the property reflection lacks."""
+        rng = np.random.default_rng(9)
+        sample = rng.uniform(0, 10, 20_000)
+        est = BoundaryKernelEstimator(sample, 0.5, domain)
+        assert est.selectivity(0.0, 0.5) == pytest.approx(0.05, abs=0.01)
+
+    def test_total_mass_close_to_one(self, sample, domain):
+        est = BoundaryKernelEstimator(sample, 1.0, domain)
+        assert est.selectivity(0.0, 10.0) == pytest.approx(1.0, abs=0.05)
+
+
+class TestFactory:
+    def test_none_returns_plain(self, sample, domain):
+        est = make_kernel_estimator(sample, 1.0, domain, boundary="none")
+        assert type(est) is KernelSelectivityEstimator
+
+    def test_reflection(self, sample, domain):
+        est = make_kernel_estimator(sample, 1.0, domain, boundary="reflection")
+        assert isinstance(est, ReflectionKernelEstimator)
+
+    def test_kernel(self, sample, domain):
+        est = make_kernel_estimator(sample, 1.0, domain, boundary="kernel")
+        assert isinstance(est, BoundaryKernelEstimator)
+
+    def test_unknown_treatment(self, sample, domain):
+        with pytest.raises(ValueError):
+            make_kernel_estimator(sample, 1.0, domain, boundary="magic")
+
+    def test_treatment_requires_domain(self, sample):
+        with pytest.raises(InvalidSampleError):
+            make_kernel_estimator(sample, 1.0, None, boundary="reflection")

@@ -1,0 +1,43 @@
+"""Tests for the simulated census instance-weight file (repro.data.census)."""
+
+import numpy as np
+import pytest
+
+from repro.data import census
+from repro.data.domain import IntegerDomain
+
+
+@pytest.fixture()
+def values():
+    return census.instance_weight(21, 50_000, np.random.default_rng(5))
+
+
+class TestInstanceWeight:
+    def test_shape_and_bounds(self, values):
+        domain = IntegerDomain(21)
+        assert values.shape == (50_000,)
+        assert values.min() >= domain.low
+        assert values.max() <= domain.high
+
+    def test_contains_heavy_spikes(self, values):
+        """A handful of repeated weights must dominate, as in the real
+        census post-stratification output."""
+        _, counts = np.unique(values, return_counts=True)
+        heaviest = np.sort(counts)[-len(census.SPIKES):].sum()
+        assert heaviest > 0.2 * values.size
+
+    def test_mass_concentrated_left(self, values):
+        """Mass concentration far from uniform — this is what breaks
+        the uniform estimator in the paper's Fig. 8."""
+        domain = IntegerDomain(21)
+        left_quarter = np.mean(values < domain.low + 0.25 * domain.width)
+        assert left_quarter > 0.85
+
+    def test_bulk_is_continuousish(self, values):
+        """Besides the spikes there must be a broad continuous bulk."""
+        assert np.unique(values).size > 5_000
+
+    def test_deterministic(self):
+        a = census.instance_weight(21, 1_000, np.random.default_rng(9))
+        b = census.instance_weight(21, 1_000, np.random.default_rng(9))
+        np.testing.assert_array_equal(a, b)

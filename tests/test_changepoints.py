@@ -1,0 +1,85 @@
+"""Tests for change-point detection (repro.core.changepoints)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidSampleError
+from repro.core.changepoints import detect_change_points, pilot_bandwidth
+from repro.data.domain import Interval
+
+
+@pytest.fixture()
+def step_sample():
+    """Density with one sharp step at x = 5: dense left, sparse right."""
+    rng = np.random.default_rng(7)
+    return np.concatenate([rng.uniform(0, 5, 8_000), rng.uniform(5, 10, 800)])
+
+
+class TestDetection:
+    def test_finds_the_step(self, step_sample):
+        points = detect_change_points(step_sample, Interval(0, 10), max_points=2)
+        assert points.size >= 1
+        assert np.min(np.abs(points - 5.0)) < 0.6
+
+    def test_respects_max_points(self, step_sample):
+        points = detect_change_points(step_sample, Interval(0, 10), max_points=1)
+        assert points.size <= 1
+
+    def test_zero_max_points(self, step_sample):
+        points = detect_change_points(step_sample, Interval(0, 10), max_points=0)
+        assert points.size == 0
+
+    def test_min_separation_enforced(self, step_sample):
+        points = detect_change_points(
+            step_sample, Interval(0, 10), max_points=8, min_separation=0.1
+        )
+        if points.size > 1:
+            assert np.diff(points).min() >= 0.1 * 10 - 1e-9
+        assert (points >= 1.0 - 1e-9).all() and (points <= 9.0 + 1e-9).all()
+
+    def test_smooth_density_yields_few_points(self):
+        """A flat uniform density has no significant curvature in the
+        interior — the detector should not splinter it."""
+        rng = np.random.default_rng(1)
+        sample = rng.uniform(0, 10, 5_000)
+        points = detect_change_points(
+            sample, Interval(0, 10), max_points=8, relative_threshold=0.3
+        )
+        assert points.size <= 3
+
+    def test_two_steps_found(self):
+        rng = np.random.default_rng(3)
+        sample = np.concatenate(
+            [
+                rng.uniform(0, 3, 6_000),
+                rng.uniform(3, 7, 600),
+                rng.uniform(7, 10, 6_000),
+            ]
+        )
+        points = detect_change_points(sample, Interval(0, 10), max_points=4)
+        assert np.min(np.abs(points - 3.0)) < 0.6
+        assert np.min(np.abs(points - 7.0)) < 0.6
+
+    def test_sorted_output(self, step_sample):
+        points = detect_change_points(step_sample, Interval(0, 10), max_points=5)
+        assert (np.diff(points) > 0).all()
+
+    def test_tiny_sample_returns_empty(self):
+        points = detect_change_points(np.array([1.0, 2.0]), Interval(0, 10))
+        assert points.size == 0
+
+    def test_rejects_bad_separation(self, step_sample):
+        with pytest.raises(InvalidSampleError):
+            detect_change_points(step_sample, Interval(0, 10), min_separation=0.7)
+
+    def test_rejects_negative_max_points(self, step_sample):
+        with pytest.raises(InvalidSampleError):
+            detect_change_points(step_sample, Interval(0, 10), max_points=-1)
+
+
+class TestPilotBandwidth:
+    def test_positive_and_shrinks_with_n(self):
+        rng = np.random.default_rng(2)
+        small = pilot_bandwidth(rng.normal(0, 1, 100))
+        large = pilot_bandwidth(rng.normal(0, 1, 10_000))
+        assert small > large > 0

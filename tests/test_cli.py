@@ -1,0 +1,34 @@
+"""Tests for the command-line entry point (repro.__main__)."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_single_experiment_renders_table(self, capsys):
+        assert main(["fig04"]) == 0
+        out = capsys.readouterr().out
+        assert "fig-4" in out
+        assert "equi-width MRE" in out
+
+    def test_csv_output(self, capsys):
+        assert main(["fig04", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("bins,")
+        assert "%" not in out.splitlines()[1]
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_every_registered_experiment_is_runnable(self):
+        """Registry sanity: each entry has a run(config) callable."""
+        for module in EXPERIMENTS.values():
+            assert callable(module.run)

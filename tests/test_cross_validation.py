@@ -1,0 +1,104 @@
+"""Tests for cross-validation selectors (repro.bandwidth.cross_validation)."""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.bandwidth.cross_validation import (
+    _epanechnikov_convolution,
+    _gaussian_convolution,
+    lscv_bandwidth,
+    lscv_score,
+    rudemo_bin_count,
+    rudemo_score,
+)
+from repro.bandwidth.normal_scale import histogram_bin_count, kernel_bandwidth
+from repro.core.base import InvalidSampleError
+from repro.data.domain import Interval
+
+
+class TestConvolutions:
+    def test_epanechnikov_convolution_at_zero_is_roughness(self):
+        assert _epanechnikov_convolution(0.0) == pytest.approx(0.6)
+
+    def test_epanechnikov_convolution_integrates_to_one(self):
+        value, _ = integrate.quad(lambda t: float(_epanechnikov_convolution(t)), -2, 2)
+        assert value == pytest.approx(1.0, abs=1e-9)
+
+    def test_epanechnikov_convolution_matches_numeric(self):
+        from repro.core.kernel.functions import EPANECHNIKOV
+
+        for t in (0.3, 0.9, 1.5, 1.9):
+            numeric, _ = integrate.quad(
+                lambda u: float(EPANECHNIKOV.pdf(u) * EPANECHNIKOV.pdf(t - u)), -1, 1
+            )
+            assert float(_epanechnikov_convolution(t)) == pytest.approx(numeric, abs=1e-9)
+
+    def test_gaussian_convolution_is_n02(self):
+        assert float(_gaussian_convolution(0.0)) == pytest.approx(
+            1.0 / np.sqrt(4 * np.pi)
+        )
+
+
+class TestLscv:
+    @pytest.fixture()
+    def normal_sample(self):
+        return np.random.default_rng(0).normal(0.0, 1.0, 800)
+
+    def test_score_penalizes_extreme_bandwidths(self, normal_sample):
+        good = lscv_score(normal_sample, 0.4)
+        tiny = lscv_score(normal_sample, 0.005)
+        huge = lscv_score(normal_sample, 50.0)
+        assert good < tiny
+        assert good < huge
+
+    def test_selected_bandwidth_near_ns_on_normal_data(self, normal_sample):
+        chosen = lscv_bandwidth(normal_sample)
+        reference = kernel_bandwidth(normal_sample)
+        assert 0.3 * reference < chosen < 2.5 * reference
+
+    def test_adapts_on_structured_data(self):
+        """Two sharp clusters: LSCV must, like the plug-in, choose a
+        far smaller bandwidth than the normal scale rule."""
+        rng = np.random.default_rng(1)
+        sample = np.concatenate(
+            [rng.normal(0.0, 0.05, 500), rng.normal(5.0, 0.05, 500)]
+        )
+        assert lscv_bandwidth(sample) < 0.3 * kernel_bandwidth(sample)
+
+    def test_unsupported_kernel(self, normal_sample):
+        with pytest.raises(InvalidSampleError):
+            lscv_score(normal_sample, 0.4, kernel="biweight")
+
+    def test_rejects_bad_bandwidth(self, normal_sample):
+        with pytest.raises(InvalidSampleError):
+            lscv_score(normal_sample, 0.0)
+
+    def test_needs_two_samples(self):
+        with pytest.raises(InvalidSampleError):
+            lscv_score(np.array([1.0]), 0.5)
+
+    def test_gaussian_kernel_supported(self, normal_sample):
+        assert np.isfinite(lscv_score(normal_sample, 0.3, kernel="gaussian"))
+
+
+class TestRudemo:
+    DOMAIN = Interval(0.0, 10.0)
+
+    @pytest.fixture()
+    def sample(self):
+        return np.clip(np.random.default_rng(2).normal(5.0, 1.2, 1_000), 0, 10)
+
+    def test_score_penalizes_extremes(self, sample):
+        good = rudemo_score(sample, 16, self.DOMAIN)
+        assert good < rudemo_score(sample, 1, self.DOMAIN)
+        assert good < rudemo_score(sample, 900, self.DOMAIN)
+
+    def test_selected_count_reasonable(self, sample):
+        chosen = rudemo_bin_count(sample, self.DOMAIN)
+        reference = histogram_bin_count(sample, self.DOMAIN)
+        assert 0.25 * reference < chosen < 6 * reference
+
+    def test_rejects_bad_bins(self, sample):
+        with pytest.raises(InvalidSampleError):
+            rudemo_score(sample, 0, self.DOMAIN)

@@ -1,0 +1,189 @@
+"""Tests for the optimizer substrate (repro.db)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidQueryError, InvalidSampleError
+from repro.data.domain import Interval
+from repro.db import Catalog, Plan, Planner, RangePredicate, Table
+
+DOMAIN = Interval(0.0, 1_000.0)
+
+
+@pytest.fixture(scope="module")
+def table():
+    rng = np.random.default_rng(0)
+    n = 50_000
+    x = np.clip(rng.normal(400.0, 120.0, n), 0, 1_000)
+    # y correlated with x (same cluster structure).
+    y = np.clip(x + rng.normal(0.0, 40.0, n), 0, 1_000)
+    z = rng.uniform(0, 1_000, n)
+    return Table("points", {"x": (x, DOMAIN), "y": (y, DOMAIN), "z": (z, DOMAIN)})
+
+
+@pytest.fixture(scope="module")
+def catalog(table):
+    cat = Catalog(family="kernel", sample_size=2_000)
+    cat.analyze(table, joint=[("x", "y")], seed=7)
+    return cat
+
+
+class TestTable:
+    def test_row_count_and_columns(self, table):
+        assert table.row_count == 50_000
+        assert table.column_names == ["x", "y", "z"]
+
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(InvalidSampleError):
+            Table(
+                "bad",
+                {"a": (np.zeros(3), DOMAIN), "b": (np.zeros(4), DOMAIN)},
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidSampleError):
+            Table("bad", {})
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(InvalidSampleError):
+            Table("bad", {"a": (np.array([2_000.0]), DOMAIN)})
+
+    def test_count_conjunction_matches_bruteforce(self, table):
+        predicates = {"x": (300.0, 500.0), "z": (0.0, 250.0)}
+        x, z = table.column("x"), table.column("z")
+        expected = int(
+            np.sum((x >= 300) & (x <= 500) & (z >= 0) & (z <= 250))
+        )
+        assert table.count(predicates) == expected
+
+    def test_count_empty_predicates_is_all_rows(self, table):
+        assert table.count({}) == table.row_count
+
+    def test_count_unknown_column(self, table):
+        with pytest.raises(InvalidQueryError):
+            table.count({"nope": (0.0, 1.0)})
+
+    def test_sample_rows_aligned(self, table):
+        rows = table.sample_rows(100, seed=1)
+        assert set(rows) == {"x", "y", "z"}
+        # Row alignment: every sampled (x, y) pair exists in the table.
+        lookup: dict[float, set[float]] = {}
+        for xv, yv in zip(table.column("x"), table.column("y")):
+            lookup.setdefault(float(xv), set()).add(float(yv))
+        for xv, yv in zip(rows["x"], rows["y"]):
+            assert float(yv) in lookup[float(xv)]
+
+
+class TestCatalog:
+    def test_requires_analyze(self, table):
+        catalog = Catalog()
+        with pytest.raises(InvalidQueryError):
+            catalog.column_statistic(table.name, "x")
+
+    def test_unknown_family(self):
+        with pytest.raises(InvalidQueryError):
+            Catalog(family="magic")
+
+    def test_column_statistic_accuracy(self, table, catalog):
+        statistic = catalog.column_statistic("points", "x")
+        true = table.count({"x": (300.0, 500.0)}) / table.row_count
+        assert statistic.selectivity(300.0, 500.0) == pytest.approx(true, abs=0.05)
+
+    def test_joint_statistic_present(self, catalog):
+        assert catalog.joint_statistic("points", "x", "y") is not None
+        assert catalog.joint_orientation("points", "y", "x") == ("x", "y")
+        assert catalog.joint_orientation("points", "x", "z") is None
+
+    @pytest.mark.parametrize(
+        "family", ["uniform", "sampling", "equi-width", "equi-depth", "v-optimal", "wavelet", "hybrid"]
+    )
+    def test_all_families_buildable(self, table, family):
+        catalog = Catalog(family=family, sample_size=500)
+        catalog.analyze(table, seed=2)
+        statistic = catalog.column_statistic("points", "z")
+        assert 0.0 <= statistic.selectivity(0.0, 500.0) <= 1.0
+
+
+class TestPlanner:
+    def test_single_predicate_cardinality(self, table, catalog):
+        planner = Planner(catalog)
+        predicates = [RangePredicate("x", 300.0, 500.0)]
+        estimated = planner.cardinality(table, predicates)
+        true = table.count({"x": (300.0, 500.0)})
+        assert estimated == pytest.approx(true, rel=0.15)
+
+    def test_joint_beats_independence_on_correlated_columns(self, table):
+        """The planner with joint stats must estimate the correlated
+        conjunction much better than with independence only."""
+        with_joint = Catalog(family="kernel", sample_size=2_000)
+        with_joint.analyze(table, joint=[("x", "y")], seed=7)
+        without = Catalog(family="kernel", sample_size=2_000)
+        without.analyze(table, seed=7)
+
+        predicates = [
+            RangePredicate("x", 350.0, 450.0),
+            RangePredicate("y", 350.0, 450.0),
+        ]
+        true = table.count({"x": (350.0, 450.0), "y": (350.0, 450.0)})
+        joint_est = Planner(with_joint).cardinality(table, predicates)
+        indep_est = Planner(without).cardinality(table, predicates)
+        assert abs(joint_est - true) < abs(indep_est - true)
+
+    def test_joint_orientation_is_axis_correct(self, table, catalog):
+        """Asymmetric ranges through the joint statistic: predicate
+        order must not change the estimate, and the x-range must bind
+        the x-axis (a swapped orientation would flip the answer)."""
+        planner = Planner(catalog)
+        x_range = RangePredicate("x", 100.0, 200.0)  # sparse for x
+        y_range = RangePredicate("y", 350.0, 450.0)  # dense for y
+        forward = planner.selectivity(table, [x_range, y_range])
+        reversed_order = planner.selectivity(table, [y_range, x_range])
+        assert forward == pytest.approx(reversed_order)
+        # Compare against the catalog's joint statistic queried with
+        # the axes explicitly in storage order.
+        joint = catalog.joint_statistic("points", "x", "y")
+        direct = joint.selectivity(100.0, 200.0, 350.0, 450.0)
+        assert forward == pytest.approx(direct)
+        # Sanity: swapping the ranges across axes gives a different
+        # answer on this asymmetric query.
+        swapped = joint.selectivity(350.0, 450.0, 100.0, 200.0)
+        assert abs(direct - swapped) > 1e-4
+
+    def test_same_column_conjuncts_intersect(self, table, catalog):
+        planner = Planner(catalog)
+        narrow = planner.selectivity(
+            table,
+            [RangePredicate("x", 300.0, 600.0), RangePredicate("x", 400.0, 900.0)],
+        )
+        direct = planner.selectivity(table, [RangePredicate("x", 400.0, 600.0)])
+        assert narrow == pytest.approx(direct)
+
+    def test_contradictory_conjuncts_zero(self, table, catalog):
+        planner = Planner(catalog)
+        assert (
+            planner.selectivity(
+                table,
+                [RangePredicate("x", 0.0, 100.0), RangePredicate("x", 200.0, 300.0)],
+            )
+            == 0.0
+        )
+
+    def test_plan_selects_cheaper_path(self, table, catalog):
+        planner = Planner(catalog)
+        selective = planner.plan(table, [RangePredicate("x", 400.0, 402.0)])
+        broad = planner.plan(table, [RangePredicate("x", 0.0, 1_000.0)])
+        assert selective.access_path == "index scan"
+        assert broad.access_path == "seq scan"
+
+    def test_plan_is_explainable(self, table, catalog):
+        plan = Planner(catalog).plan(table, [RangePredicate("x", 400.0, 402.0)])
+        assert isinstance(plan, Plan)
+        text = plan.explain()
+        assert "points" in text and "rows~" in text
+
+    def test_empty_predicates_full_selectivity(self, table, catalog):
+        assert Planner(catalog).selectivity(table, []) == 1.0
+
+    def test_bad_cost_constants(self, catalog):
+        with pytest.raises(InvalidQueryError):
+            Planner(catalog, cost_seq_tuple=0.0)

@@ -1,0 +1,93 @@
+"""Tests for the bias-variance decomposition (repro.evaluation.decomposition)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidQueryError
+from repro.core.kernel import KernelSelectivityEstimator
+from repro.data.domain import Interval
+from repro.evaluation import NormalTruth, decompose, tradeoff_curve
+
+DOMAIN = Interval(0.0, 10.0)
+TRUTH = NormalTruth(DOMAIN, mean=5.0, sigma=1.5)
+
+
+def build_kernel(sample: np.ndarray, h: float) -> KernelSelectivityEstimator:
+    return KernelSelectivityEstimator(sample, h)
+
+
+class TestDecompose:
+    def test_mise_is_sum_of_parts(self):
+        result = decompose(
+            lambda s: build_kernel(s, 0.5), TRUTH, 400, replications=10, grid_points=256
+        )
+        assert result.mise == pytest.approx(
+            result.integrated_variance + result.integrated_squared_bias
+        )
+        assert result.integrated_variance > 0
+        assert result.integrated_squared_bias >= 0
+
+    def test_variance_shrinks_with_n(self):
+        small = decompose(
+            lambda s: build_kernel(s, 0.5), TRUTH, 200, replications=12, grid_points=256
+        )
+        large = decompose(
+            lambda s: build_kernel(s, 0.5), TRUTH, 3_200, replications=12, grid_points=256
+        )
+        assert large.integrated_variance < small.integrated_variance
+
+    def test_bias_insensitive_to_n(self):
+        """AMISE: the bias term depends on h, not on n."""
+        small = decompose(
+            lambda s: build_kernel(s, 1.2), TRUTH, 400, replications=25, grid_points=256
+        )
+        large = decompose(
+            lambda s: build_kernel(s, 1.2), TRUTH, 3_200, replications=25, grid_points=256
+        )
+        assert large.integrated_squared_bias == pytest.approx(
+            small.integrated_squared_bias, rel=0.4
+        )
+
+    def test_needs_replications(self):
+        with pytest.raises(InvalidQueryError):
+            decompose(lambda s: build_kernel(s, 0.5), TRUTH, 100, replications=1)
+
+
+class TestTradeoff:
+    def test_complementary_impact_of_h(self):
+        """Paper §4.2: small h -> low bias / high variance; large h ->
+        high bias / low variance."""
+        curve = tradeoff_curve(
+            build_kernel,
+            TRUTH,
+            smoothing_values=[0.1, 0.5, 2.5],
+            sample_size=600,
+            replications=15,
+            grid_points=256,
+        )
+        (h0, d0), (_, d1), (h2, d2) = curve
+        assert h0 < h2
+        # Variance falls with h...
+        assert d0.integrated_variance > d1.integrated_variance > d2.integrated_variance
+        # ...while squared bias rises.
+        assert d0.integrated_squared_bias < d2.integrated_squared_bias
+
+    def test_amise_predicts_the_variance_term(self):
+        """AIVar = R(K) / (n h) — eq. 9(b), checked empirically."""
+        n, h = 800, 0.6
+        result = decompose(
+            lambda s: build_kernel(s, h), TRUTH, n, replications=40, grid_points=256
+        )
+        predicted = 0.6 / (n * h)  # R(K) = 3/5 for Epanechnikov
+        assert result.integrated_variance == pytest.approx(predicted, rel=0.25)
+
+    def test_amise_predicts_the_bias_term(self):
+        """AIBias^2 = h^4 k2^2 R(f'') / 4 — eq. 9(a), checked empirically."""
+        from repro.bandwidth.amise import normal_roughness
+
+        n, h = 3_000, 1.0
+        result = decompose(
+            lambda s: build_kernel(s, h), TRUTH, n, replications=30, grid_points=512
+        )
+        predicted = 0.25 * h**4 * (1 / 5) ** 2 * normal_roughness(2, 1.5)
+        assert result.integrated_squared_bias == pytest.approx(predicted, rel=0.35)

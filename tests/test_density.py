@@ -1,0 +1,87 @@
+"""Tests for Gaussian KDE derivatives (repro.core.kernel.density)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidSampleError
+from repro.core.kernel.density import KernelDensity
+from repro.data.domain import Interval
+
+
+@pytest.fixture()
+def normal_sample():
+    return np.random.default_rng(0).normal(0.0, 1.0, 4_000)
+
+
+class TestDensity:
+    def test_matches_true_normal_density(self, normal_sample):
+        kde = KernelDensity(normal_sample, 0.25)
+        x = np.array([-1.0, 0.0, 1.0])
+        true = np.exp(-0.5 * x * x) / np.sqrt(2 * np.pi)
+        np.testing.assert_allclose(kde.density(x), true, atol=0.03)
+
+    def test_integrates_to_one(self, normal_sample):
+        kde = KernelDensity(normal_sample, 0.25)
+        grid = kde.grid(1024, pad=5.0)
+        mass = np.trapezoid(kde.density(grid), grid)
+        assert mass == pytest.approx(1.0, abs=1e-3)
+
+
+class TestDerivatives:
+    def test_first_derivative_sign(self, normal_sample):
+        kde = KernelDensity(normal_sample, 0.3)
+        # Rising left of the mode, falling right of it.
+        assert kde.derivative(np.array([-1.0]), 1)[0] > 0
+        assert kde.derivative(np.array([1.0]), 1)[0] < 0
+
+    def test_second_derivative_sign(self, normal_sample):
+        kde = KernelDensity(normal_sample, 0.3)
+        # Concave at the mode, convex in the tails.
+        assert kde.derivative(np.array([0.0]), 2)[0] < 0
+        assert kde.derivative(np.array([2.5]), 2)[0] > 0
+
+    def test_derivative_matches_finite_difference(self, normal_sample):
+        kde = KernelDensity(normal_sample, 0.4)
+        x = 0.7
+        eps = 1e-5
+        numeric = (kde.density(np.array([x + eps]))[0] - kde.density(np.array([x - eps]))[0]) / (
+            2 * eps
+        )
+        analytic = kde.derivative(np.array([x]), 1)[0]
+        assert analytic == pytest.approx(numeric, rel=1e-4)
+
+    def test_second_derivative_matches_finite_difference(self, normal_sample):
+        kde = KernelDensity(normal_sample, 0.4)
+        x, eps = 0.7, 1e-4
+        f = lambda v: kde.density(np.array([v]))[0]
+        numeric = (f(x + eps) - 2 * f(x) + f(x - eps)) / eps**2
+        analytic = kde.derivative(np.array([x]), 2)[0]
+        assert analytic == pytest.approx(numeric, rel=1e-3)
+
+    def test_unsupported_order(self, normal_sample):
+        with pytest.raises(InvalidSampleError):
+            KernelDensity(normal_sample, 0.3).derivative(np.zeros(1), order=5)
+
+
+class TestRoughness:
+    def test_roughness_of_normal_first_derivative(self, normal_sample):
+        """R(f') = 1 / (4 sqrt(pi) sigma^3) for the Normal."""
+        kde = KernelDensity(normal_sample, 0.20)
+        expected = 1.0 / (4.0 * np.sqrt(np.pi))
+        assert kde.roughness(1, points=2048) == pytest.approx(expected, rel=0.15)
+
+    def test_roughness_of_normal_second_derivative(self, normal_sample):
+        """R(f'') = 3 / (8 sqrt(pi) sigma^5) for the Normal."""
+        kde = KernelDensity(normal_sample, 0.25)
+        expected = 3.0 / (8.0 * np.sqrt(np.pi))
+        assert kde.roughness(2, points=2048) == pytest.approx(expected, rel=0.3)
+
+    def test_grid_respects_domain(self, normal_sample):
+        clipped = np.clip(normal_sample, -2.0, 2.0)
+        kde = KernelDensity(clipped, 0.3, Interval(-2.0, 2.0))
+        grid = kde.grid(128)
+        assert grid[0] == -2.0 and grid[-1] == 2.0
+
+    def test_grid_needs_two_points(self, normal_sample):
+        with pytest.raises(InvalidSampleError):
+            KernelDensity(normal_sample, 0.3).grid(1)

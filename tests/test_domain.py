@@ -1,0 +1,116 @@
+"""Tests for attribute domains (repro.data.domain)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.data.domain import IntegerDomain, Interval
+
+
+class TestInterval:
+    def test_width_and_center(self):
+        interval = Interval(2.0, 10.0)
+        assert interval.width == 8.0
+        assert interval.center == 6.0
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            Interval(1.0, 1.0)
+
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 1.0)
+
+    def test_rejects_non_finite_bounds(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, np.inf)
+        with pytest.raises(ValueError):
+            Interval(np.nan, 1.0)
+
+    def test_contains_scalar_and_array(self):
+        interval = Interval(0.0, 1.0)
+        assert interval.contains(0.0)
+        assert interval.contains(1.0)
+        assert not interval.contains(-0.1)
+        result = interval.contains(np.array([-1.0, 0.5, 2.0]))
+        assert list(result) == [False, True, False]
+
+    def test_clip(self):
+        interval = Interval(0.0, 1.0)
+        assert interval.clip(-5.0) == 0.0
+        assert interval.clip(0.5) == 0.5
+        assert interval.clip(5.0) == 1.0
+
+    def test_clip_array(self):
+        interval = Interval(0.0, 1.0)
+        np.testing.assert_allclose(
+            interval.clip(np.array([-1.0, 0.3, 9.0])), [0.0, 0.3, 1.0]
+        )
+
+    def test_intersect_overlapping(self):
+        left = Interval(0.0, 5.0)
+        right = Interval(3.0, 9.0)
+        assert left.intersect(right) == Interval(3.0, 5.0)
+
+    def test_intersect_disjoint_returns_none(self):
+        assert Interval(0.0, 1.0).intersect(Interval(2.0, 3.0)) is None
+
+    def test_intersect_touching_returns_none(self):
+        assert Interval(0.0, 1.0).intersect(Interval(1.0, 2.0)) is None
+
+    def test_fraction_full_cover(self):
+        assert Interval(0.0, 4.0).fraction(-1.0, 10.0) == 1.0
+
+    def test_fraction_partial(self):
+        assert Interval(0.0, 4.0).fraction(1.0, 3.0) == pytest.approx(0.5)
+
+    def test_fraction_disjoint(self):
+        assert Interval(0.0, 4.0).fraction(5.0, 6.0) == 0.0
+
+    def test_subdivide(self):
+        pieces = Interval(0.0, 10.0).subdivide(np.array([3.0, 7.0]))
+        assert pieces == [Interval(0, 3), Interval(3, 7), Interval(7, 10)]
+
+    def test_subdivide_ignores_exterior_points(self):
+        pieces = Interval(0.0, 10.0).subdivide(np.array([-1.0, 5.0, 11.0, 0.0, 10.0]))
+        assert pieces == [Interval(0, 5), Interval(5, 10)]
+
+    def test_subdivide_collapses_duplicates(self):
+        pieces = Interval(0.0, 10.0).subdivide(np.array([5.0, 5.0]))
+        assert len(pieces) == 2
+
+    @given(st.floats(-1e6, 1e6), st.floats(1e-3, 1e6))
+    def test_fraction_always_in_unit_range(self, low, width):
+        interval = Interval(low, low + width)
+        assert 0.0 <= interval.fraction(low - 1.0, low + 0.5 * width) <= 1.0
+
+
+class TestIntegerDomain:
+    def test_bounds(self):
+        domain = IntegerDomain(10)
+        assert domain.low == 0.0
+        assert domain.high == 1023.0
+        assert domain.cardinality == 1024
+        assert domain.p == 10
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(ValueError):
+            IntegerDomain(0)
+        with pytest.raises(TypeError):
+            IntegerDomain(2.5)
+
+    def test_snap_rounds_and_clips(self):
+        domain = IntegerDomain(4)  # [0, 15]
+        np.testing.assert_allclose(
+            domain.snap(np.array([-3.0, 2.4, 2.6, 99.0])), [0.0, 2.0, 3.0, 15.0]
+        )
+
+    def test_is_an_interval(self):
+        domain = IntegerDomain(8)
+        assert domain.fraction(0.0, domain.high) == 1.0
+
+    @given(st.integers(1, 30))
+    def test_width_matches_cardinality(self, p):
+        domain = IntegerDomain(p)
+        assert domain.width == domain.cardinality - 1

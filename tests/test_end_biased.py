@@ -1,0 +1,70 @@
+"""Tests for end-biased histograms (repro.core.histogram.end_biased)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidSampleError
+from repro.core.histogram import EndBiasedHistogram, EquiWidthHistogram
+from repro.data.domain import Interval
+
+DOMAIN = Interval(0.0, 100.0)
+
+
+@pytest.fixture()
+def spiky_sample():
+    """Three heavy values plus a uniform background."""
+    rng = np.random.default_rng(0)
+    return np.concatenate(
+        [
+            np.full(300, 10.0),
+            np.full(200, 40.0),
+            np.full(100, 75.0),
+            rng.uniform(0, 100, 400),
+        ]
+    )
+
+
+class TestEndBiased:
+    def test_top_values_stored(self, spiky_sample):
+        hist = EndBiasedHistogram(spiky_sample, DOMAIN, top=3)
+        assert set(hist.stored_values) == {10.0, 40.0, 75.0}
+
+    def test_point_query_on_heavy_value_exact(self, spiky_sample):
+        hist = EndBiasedHistogram(spiky_sample, DOMAIN, top=3)
+        assert hist.selectivity(10.0, 10.0) == pytest.approx(0.3, abs=1e-12)
+
+    def test_mass_conserved(self, spiky_sample):
+        hist = EndBiasedHistogram(spiky_sample, DOMAIN, top=3)
+        assert hist.selectivity(0.0, 100.0) == pytest.approx(1.0)
+
+    def test_remainder_uniform(self, spiky_sample):
+        hist = EndBiasedHistogram(spiky_sample, DOMAIN, top=3)
+        # [50, 60] holds no stored value: 10% of the 0.4 background.
+        assert hist.selectivity(50.0, 60.0) == pytest.approx(0.04, abs=0.001)
+
+    def test_singletons_not_stored(self):
+        sample = np.arange(100, dtype=float)  # all values unique
+        hist = EndBiasedHistogram(sample, DOMAIN, top=5)
+        assert hist.stored_values.size == 0
+        assert hist.selectivity(0.0, 50.0) == pytest.approx(0.5)
+
+    def test_beats_equi_width_on_spiky_point_queries(self, spiky_sample):
+        """The design goal: exact answers on the heavy values where a
+        width-based histogram smears them."""
+        eb = EndBiasedHistogram(spiky_sample, DOMAIN, top=3)
+        ewh = EquiWidthHistogram(spiky_sample, DOMAIN, 20)
+        true = 0.3
+        assert abs(eb.selectivity(9.9, 10.1) - true) < abs(
+            ewh.selectivity(9.9, 10.1) - true
+        )
+
+    def test_rejects_bad_top(self, spiky_sample):
+        with pytest.raises(InvalidSampleError):
+            EndBiasedHistogram(spiky_sample, DOMAIN, top=0)
+
+    def test_density_is_background_only(self, spiky_sample):
+        hist = EndBiasedHistogram(spiky_sample, DOMAIN, top=3)
+        inside = hist.density(np.array([50.0]))[0]
+        outside = hist.density(np.array([150.0]))[0]
+        assert inside == pytest.approx(0.4 / 100.0, abs=1e-3)
+        assert outside == 0.0

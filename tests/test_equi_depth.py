@@ -1,0 +1,66 @@
+"""Tests for equi-depth histograms (repro.core.histogram.equi_depth)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidSampleError
+from repro.core.histogram import EquiDepthHistogram
+from repro.data.domain import Interval
+
+
+class TestConstruction:
+    def test_boundaries_at_quantiles(self):
+        sample = np.arange(100, dtype=float)
+        hist = EquiDepthHistogram(sample, 4)
+        np.testing.assert_allclose(
+            hist.boundaries, np.quantile(sample, [0, 0.25, 0.5, 0.75, 1.0])
+        )
+
+    def test_equal_mass_per_bin(self):
+        rng = np.random.default_rng(1)
+        sample = rng.exponential(1.0, 1_000)
+        hist = EquiDepthHistogram(sample, 10)
+        np.testing.assert_allclose(hist.counts, 100.0)
+
+    def test_rejects_more_bins_than_samples(self):
+        with pytest.raises(InvalidSampleError):
+            EquiDepthHistogram(np.array([1.0, 2.0]), 5)
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(InvalidSampleError):
+            EquiDepthHistogram(np.array([1.0, 2.0]), 0)
+
+
+class TestSelectivity:
+    def test_mass_conserved(self):
+        rng = np.random.default_rng(3)
+        sample = rng.normal(0, 1, 500)
+        hist = EquiDepthHistogram(sample, 20)
+        assert hist.selectivity(sample.min(), sample.max()) == pytest.approx(1.0)
+
+    def test_zero_outside_sample_range(self):
+        hist = EquiDepthHistogram(np.array([1.0, 2.0, 3.0, 4.0]), 2)
+        assert hist.selectivity(10.0, 20.0) == 0.0
+
+    def test_skew_adaptivity(self):
+        """Narrow bins where the data is dense: the left half of an
+        exponential sample gets far more resolution than the right."""
+        rng = np.random.default_rng(5)
+        sample = rng.exponential(1.0, 2_000)
+        hist = EquiDepthHistogram(sample, 16)
+        widths = np.diff(hist.boundaries)
+        assert widths[0] < widths[-1] / 5
+
+    def test_duplicates_become_point_masses(self):
+        """Heavy duplicates collapse quantiles into point masses rather
+        than silently losing mass."""
+        sample = np.concatenate([np.full(600, 5.0), np.linspace(0, 10, 400)])
+        hist = EquiDepthHistogram(sample, 10, Interval(0, 10))
+        point_mass = sum(m for x, m in hist.point_masses if x == 5.0)
+        assert point_mass >= 0.4
+        assert hist.selectivity(0.0, 10.0) == pytest.approx(1.0)
+
+    def test_point_query_on_duplicated_value(self):
+        sample = np.concatenate([np.full(600, 5.0), np.linspace(0, 10, 400)])
+        hist = EquiDepthHistogram(sample, 10, Interval(0, 10))
+        assert hist.selectivity(5.0, 5.0) >= 0.4

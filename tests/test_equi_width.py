@@ -1,0 +1,101 @@
+"""Tests for equi-width histograms (repro.core.histogram.equi_width)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import InvalidSampleError
+from repro.core.histogram import EquiWidthHistogram
+from repro.data.domain import Interval
+
+
+@pytest.fixture()
+def domain():
+    return Interval(0.0, 10.0)
+
+
+class TestConstruction:
+    def test_bin_width(self, domain):
+        hist = EquiWidthHistogram(np.array([1.0, 2.0]), domain, 5)
+        assert hist.bin_width == pytest.approx(2.0)
+        assert hist.bin_count == 5
+
+    def test_rejects_zero_bins(self, domain):
+        with pytest.raises(InvalidSampleError):
+            EquiWidthHistogram(np.array([1.0]), domain, 0)
+
+    def test_rejects_out_of_domain_sample(self, domain):
+        with pytest.raises(InvalidSampleError):
+            EquiWidthHistogram(np.array([11.0]), domain, 4)
+
+    def test_rejects_origin_above_domain_start(self, domain):
+        with pytest.raises(InvalidSampleError):
+            EquiWidthHistogram(np.array([1.0]), domain, 4, origin=0.5)
+
+    def test_bins_tile_domain(self, domain):
+        hist = EquiWidthHistogram(np.array([5.0]), domain, 4)
+        assert hist.boundaries[0] == domain.low
+        assert hist.boundaries[-1] >= domain.high
+
+
+class TestSelectivity:
+    def test_uniform_in_bin_assumption(self, domain):
+        # All 10 samples in [0, 2): first of five bins.
+        sample = np.linspace(0.0, 1.9, 10)
+        hist = EquiWidthHistogram(sample, domain, 5)
+        assert hist.selectivity(0.0, 1.0) == pytest.approx(0.5)
+
+    def test_mass_conserved(self, domain):
+        rng = np.random.default_rng(2)
+        sample = rng.uniform(0, 10, 500)
+        hist = EquiWidthHistogram(sample, domain, 17)
+        assert hist.selectivity(domain.low, domain.high) == pytest.approx(1.0)
+
+    def test_shifted_origin_conserves_mass(self, domain):
+        rng = np.random.default_rng(2)
+        sample = rng.uniform(0, 10, 500)
+        hist = EquiWidthHistogram(sample, domain, 10, origin=-0.37)
+        assert hist.origin == pytest.approx(-0.37)
+        assert hist.selectivity(domain.low - 1.0, domain.high + 1.0) == pytest.approx(1.0)
+
+    def test_matches_paper_formula(self, domain):
+        """(1/(nh)) * sum n_i * psi_i(a, b) — paper eq. 4 simplified."""
+        rng = np.random.default_rng(4)
+        sample = rng.uniform(0, 10, 200)
+        bins = 8
+        hist = EquiWidthHistogram(sample, domain, bins)
+        h = domain.width / bins
+        edges = np.linspace(0, 10, bins + 1)
+        counts, _ = np.histogram(sample, bins=edges)
+        a, b = 1.3, 6.7
+        psi = np.clip(np.minimum(b, edges[1:]) - np.maximum(a, edges[:-1]), 0, None)
+        expected = float((counts * psi).sum() / (sample.size * h))
+        assert hist.selectivity(a, b) == pytest.approx(expected)
+
+    @given(st.integers(1, 64))
+    @settings(max_examples=30)
+    def test_any_bin_count_conserves_mass(self, bins):
+        domain = Interval(0.0, 10.0)
+        sample = np.linspace(0.0, 10.0, 57)
+        hist = EquiWidthHistogram(sample, domain, bins)
+        assert hist.selectivity(0.0, 10.0) == pytest.approx(1.0)
+
+
+class TestConsistencyBehaviour:
+    def test_more_samples_better_estimate(self):
+        """Statistical sanity: the equi-width error shrinks with n."""
+        rng = np.random.default_rng(9)
+        domain = Interval(0.0, 1.0)
+        data = rng.beta(2.0, 5.0, 200_000)
+        true = np.mean((data >= 0.2) & (data <= 0.3))
+
+        def error(n: int) -> float:
+            sample = rng.choice(data, size=n, replace=False)
+            bins = max(2, int(round(n ** (1 / 3))))
+            hist = EquiWidthHistogram(sample, domain, bins)
+            return abs(hist.selectivity(0.2, 0.3) - true)
+
+        small = np.mean([error(100) for _ in range(10)])
+        large = np.mean([error(10_000) for _ in range(10)])
+        assert large < small

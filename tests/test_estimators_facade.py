@@ -1,0 +1,129 @@
+"""Tests for the public factory module (repro.estimators)."""
+
+import numpy as np
+import pytest
+
+from repro import estimators
+from repro.core.base import InvalidSampleError
+from repro.core.histogram import (
+    AverageShiftedHistogram,
+    EquiDepthHistogram,
+    EquiWidthHistogram,
+    MaxDiffHistogram,
+    UniformEstimator,
+)
+from repro.core.hybrid import HybridEstimator
+from repro.core.kernel import BoundaryKernelEstimator, KernelSelectivityEstimator
+from repro.core.sampling import SamplingEstimator
+from repro.data.domain import Interval
+
+
+@pytest.fixture()
+def domain():
+    return Interval(0.0, 100.0)
+
+
+@pytest.fixture()
+def sample():
+    return np.random.default_rng(0).uniform(0.0, 100.0, 600)
+
+
+class TestFactories:
+    def test_sampling(self, sample):
+        assert isinstance(estimators.sampling(sample), SamplingEstimator)
+
+    def test_uniform(self, domain):
+        assert isinstance(estimators.uniform(domain), UniformEstimator)
+
+    def test_equi_width_default_rule(self, sample, domain):
+        hist = estimators.equi_width(sample, domain)
+        assert isinstance(hist, EquiWidthHistogram)
+        assert hist.bin_count >= 1
+
+    def test_equi_width_explicit_bins(self, sample, domain):
+        assert estimators.equi_width(sample, domain, bins=7).bin_count == 7
+
+    def test_equi_depth(self, sample, domain):
+        assert isinstance(estimators.equi_depth(sample, domain, bins=5), EquiDepthHistogram)
+
+    def test_max_diff(self, sample, domain):
+        assert isinstance(estimators.max_diff(sample, domain, bins=5), MaxDiffHistogram)
+
+    def test_ash(self, sample, domain):
+        ash = estimators.ash(sample, domain, bins=6, shifts=4)
+        assert isinstance(ash, AverageShiftedHistogram)
+        assert ash.shifts == 4
+
+    def test_kernel_default_boundary_with_domain(self, sample, domain):
+        assert isinstance(estimators.kernel(sample, domain), BoundaryKernelEstimator)
+
+    def test_kernel_without_domain_untreated(self, sample):
+        est = estimators.kernel(sample)
+        assert type(est) is KernelSelectivityEstimator
+
+    def test_kernel_explicit_bandwidth(self, sample, domain):
+        est = estimators.kernel(sample, domain, bandwidth=2.5)
+        assert est.bandwidth == 2.5
+
+    def test_kernel_plugin_rule(self, sample, domain):
+        est = estimators.kernel(sample, domain, bandwidth="plug-in")
+        assert est.bandwidth > 0
+
+    def test_kernel_clamps_bandwidth_for_boundary(self, sample, domain):
+        est = estimators.kernel(sample, domain, bandwidth=500.0)
+        assert est.bandwidth <= 0.5 * domain.width
+
+    def test_hybrid(self, sample, domain):
+        assert isinstance(estimators.hybrid(sample, domain), HybridEstimator)
+
+    def test_v_optimal(self, sample, domain):
+        from repro.core.histogram import VOptimalHistogram
+
+        assert isinstance(estimators.v_optimal(sample, domain, bins=6), VOptimalHistogram)
+
+    def test_wavelet(self, sample, domain):
+        from repro.core.histogram import WaveletHistogram
+
+        est = estimators.wavelet(sample, domain, coefficients=8)
+        assert isinstance(est, WaveletHistogram)
+        assert est.coefficient_budget == 8
+
+    def test_end_biased(self, sample, domain):
+        from repro.core.histogram import EndBiasedHistogram
+
+        assert isinstance(estimators.end_biased(sample, domain), EndBiasedHistogram)
+
+    def test_unknown_rule_raises(self, sample, domain):
+        with pytest.raises(InvalidSampleError):
+            estimators.equi_width(sample, domain, bins="magic")
+        with pytest.raises(InvalidSampleError):
+            estimators.kernel(sample, domain, bandwidth="magic")
+
+    def test_bad_bin_count_raises(self, sample, domain):
+        with pytest.raises(InvalidSampleError):
+            estimators.equi_width(sample, domain, bins=0)
+
+    def test_paper_lineup_complete(self):
+        assert set(estimators.PAPER_LINEUP) == {"EWH", "Kernel", "Hybrid", "ASH"}
+
+
+class TestFactoriesProduceReasonableEstimates:
+    """Every factory default must give a sane estimate out of the box."""
+
+    def test_all_factories_near_truth_on_uniform(self, sample, domain):
+        built = [
+            estimators.sampling(sample),
+            estimators.uniform(domain),
+            estimators.equi_width(sample, domain),
+            estimators.equi_depth(sample, domain),
+            estimators.max_diff(sample, domain),
+            estimators.ash(sample, domain),
+            estimators.kernel(sample, domain),
+            estimators.hybrid(sample, domain),
+            estimators.v_optimal(sample, domain),
+            estimators.wavelet(sample, domain),
+            estimators.end_biased(sample, domain),
+        ]
+        for est in built:
+            value = est.selectivity(20.0, 40.0)
+            assert value == pytest.approx(0.2, abs=0.08), type(est).__name__

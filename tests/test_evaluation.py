@@ -1,0 +1,169 @@
+"""Tests for the theory-verification tooling (repro.evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidQueryError
+from repro.data.domain import Interval
+from repro.evaluation import (
+    ExponentialTruth,
+    NormalTruth,
+    UniformTruth,
+    estimate_mise,
+    fit_rate,
+    integrated_squared_error,
+    mise_over_sample_sizes,
+)
+
+DOMAIN = Interval(0.0, 10.0)
+
+
+class TestTruths:
+    @pytest.mark.parametrize(
+        "truth",
+        [
+            NormalTruth(DOMAIN, mean=5.0, sigma=1.5),
+            ExponentialTruth(DOMAIN, scale=2.0),
+            UniformTruth(DOMAIN),
+        ],
+        ids=["normal", "exponential", "uniform"],
+    )
+    def test_pdf_integrates_to_one(self, truth):
+        grid = np.linspace(DOMAIN.low, DOMAIN.high, 20_001)
+        assert np.trapezoid(truth.pdf(grid), grid) == pytest.approx(1.0, abs=1e-6)
+
+    @pytest.mark.parametrize(
+        "truth",
+        [NormalTruth(DOMAIN, mean=5.0, sigma=1.5), ExponentialTruth(DOMAIN, scale=2.0)],
+        ids=["normal", "exponential"],
+    )
+    def test_cdf_limits(self, truth):
+        assert truth.cdf(DOMAIN.low) == pytest.approx(0.0)
+        assert truth.cdf(DOMAIN.high) == pytest.approx(1.0)
+
+    def test_pdf_zero_outside_domain(self):
+        truth = NormalTruth(DOMAIN, mean=5.0, sigma=1.5)
+        assert truth.pdf(np.array([-1.0, 11.0])).tolist() == [0.0, 0.0]
+
+    def test_selectivity_consistent_with_cdf(self):
+        truth = ExponentialTruth(DOMAIN, scale=2.0)
+        assert truth.selectivity(1.0, 3.0) == pytest.approx(
+            float(truth.cdf(3.0) - truth.cdf(1.0))
+        )
+
+    def test_selectivity_rejects_inverted(self):
+        with pytest.raises(InvalidQueryError):
+            UniformTruth(DOMAIN).selectivity(5.0, 1.0)
+
+    def test_samples_follow_distribution(self):
+        truth = NormalTruth(DOMAIN, mean=5.0, sigma=1.5)
+        rng = np.random.default_rng(0)
+        sample = truth.sample(50_000, rng)
+        assert sample.min() >= DOMAIN.low and sample.max() <= DOMAIN.high
+        assert np.mean(sample <= 5.0) == pytest.approx(truth.cdf(5.0), abs=0.01)
+
+    def test_default_scales_anchor_to_reference_domain(self):
+        """Defaults must reproduce the library's data-file models."""
+        from repro.data.domain import IntegerDomain
+
+        truth = NormalTruth(IntegerDomain(20))
+        assert truth.cdf(truth.domain.center) == pytest.approx(0.5, abs=1e-6)
+
+
+class TestIse:
+    def test_zero_for_perfect_estimator(self):
+        truth = UniformTruth(DOMAIN)
+
+        class Perfect:
+            def density(self, x):
+                return truth.pdf(x)
+
+        assert integrated_squared_error(Perfect(), truth) == pytest.approx(0.0)
+
+    def test_positive_for_wrong_estimator(self):
+        truth = UniformTruth(DOMAIN)
+
+        class Wrong:
+            def density(self, x):
+                return np.zeros_like(np.asarray(x))
+
+        assert integrated_squared_error(Wrong(), truth) == pytest.approx(0.1, abs=1e-6)
+
+    def test_grid_validation(self):
+        with pytest.raises(InvalidQueryError):
+            integrated_squared_error(None, UniformTruth(DOMAIN), grid_points=2)
+
+
+class TestRates:
+    def test_fit_rate_recovers_slope(self):
+        points = [(100, 1.0), (1_000, 0.1), (10_000, 0.01)]
+        assert fit_rate(points) == pytest.approx(-1.0)
+
+    def test_fit_rate_needs_points(self):
+        with pytest.raises(InvalidQueryError):
+            fit_rate([(100, 1.0)])
+
+    def test_kernel_mise_rate_near_minus_4_5(self):
+        """Paper §4.2: the kernel estimator at the (true) optimal
+        bandwidth converges at n^(-4/5)."""
+        from repro.bandwidth.amise import normal_roughness, optimal_bandwidth
+        from repro.core.kernel import KernelSelectivityEstimator
+
+        truth = NormalTruth(DOMAIN, mean=5.0, sigma=1.5)
+
+        def build(sample):
+            h = optimal_bandwidth(sample.size, normal_roughness(2, 1.5))
+            return KernelSelectivityEstimator(sample, h)
+
+        points = mise_over_sample_sizes(
+            build, truth, [200, 800, 3_200, 12_800], replications=8, grid_points=512
+        )
+        rate = fit_rate(points)
+        assert -1.0 < rate < -0.55
+
+    def test_histogram_mise_rate_near_minus_2_3(self):
+        """Paper §4.1: the equi-width histogram at the optimal bin
+        width converges at n^(-2/3)."""
+        from repro.bandwidth.amise import normal_roughness, optimal_bin_width
+        from repro.core.histogram import EquiWidthHistogram
+
+        truth = NormalTruth(DOMAIN, mean=5.0, sigma=1.5)
+
+        def build(sample):
+            width = optimal_bin_width(sample.size, normal_roughness(1, 1.5))
+            bins = max(1, int(round(DOMAIN.width / width)))
+            return EquiWidthHistogram(sample, DOMAIN, bins)
+
+        points = mise_over_sample_sizes(
+            build, truth, [200, 800, 3_200, 12_800], replications=8, grid_points=512
+        )
+        rate = fit_rate(points)
+        assert -0.85 < rate < -0.45
+
+    def test_kernel_converges_faster_than_histogram(self):
+        """The headline of §4: kernel MISE falls faster."""
+        from repro.bandwidth.amise import (
+            normal_roughness,
+            optimal_bandwidth,
+            optimal_bin_width,
+        )
+        from repro.core.histogram import EquiWidthHistogram
+        from repro.core.kernel import KernelSelectivityEstimator
+
+        truth = NormalTruth(DOMAIN, mean=5.0, sigma=1.5)
+        n = 5_000
+
+        def kernel_build(sample):
+            return KernelSelectivityEstimator(
+                sample, optimal_bandwidth(sample.size, normal_roughness(2, 1.5))
+            )
+
+        def hist_build(sample):
+            width = optimal_bin_width(sample.size, normal_roughness(1, 1.5))
+            return EquiWidthHistogram(
+                sample, DOMAIN, max(1, int(round(DOMAIN.width / width)))
+            )
+
+        kernel_mise = estimate_mise(kernel_build, truth, n, replications=8, grid_points=512)
+        hist_mise = estimate_mise(hist_build, truth, n, replications=8, grid_points=512)
+        assert kernel_mise < hist_mise

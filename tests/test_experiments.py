@@ -1,0 +1,197 @@
+"""Tests for the experiment harness and figure modules.
+
+Figures run under a tiny configuration here — enough to check shapes,
+row structures and the headline qualitative claims, not the full
+paper protocol (the benchmarks do that).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import harness
+from repro.experiments.harness import ExperimentConfig, load_context
+
+TINY = ExperimentConfig(n_queries=60, datasets=("u(20)", "n(20)"))
+
+
+class TestHarness:
+    def test_context_shapes(self):
+        context = load_context("n(20)", TINY)
+        assert context.sample.shape == (TINY.sample_size,)
+        assert len(context.queries) == TINY.n_queries
+        assert context.relation.name == "n(20)"
+
+    def test_context_cached(self):
+        a = load_context("n(20)", TINY)
+        b = load_context("n(20)", TINY)
+        assert a is b
+
+    def test_seeds_stable_across_calls(self):
+        config = ExperimentConfig()
+        assert config.sample_seed("x") == config.sample_seed("x")
+        assert config.sample_seed("x") != config.sample_seed("y")
+        assert config.query_seed("x", 0.01) != config.query_seed("x", 0.02)
+
+    def test_query_size_override(self):
+        small = load_context("n(20)", TINY, query_size=0.05)
+        assert small.queries.size_fraction == 0.05
+
+
+class TestTable2:
+    def test_matches_registry(self):
+        from repro.experiments import table2
+
+        result = table2.run(TINY)
+        assert result.figure_id == "table-2"
+        names = result.column("data file")
+        assert "n(20)" in names and "iw" in names
+
+
+class TestFig03:
+    def test_boundary_spike_shape(self):
+        from repro.experiments import fig03
+
+        result = fig03.run(TINY, positions=40)
+        errors = np.array(result.column("signed error [records]"), dtype=float)
+        # Large negative error at the edges, small in the middle.
+        edge = abs(errors[0])
+        center = abs(errors[len(errors) // 2])
+        assert errors[0] < 0
+        assert edge > 5 * max(center, 20.0)
+
+
+class TestFig04:
+    def test_u_shape(self):
+        from repro.experiments import fig04
+
+        result = fig04.run(TINY, bin_grid=np.array([2, 30, 1500]))
+        errors = np.array(result.column("equi-width MRE"), dtype=float)
+        # Middle bin count beats both extremes.
+        assert errors[1] < errors[0]
+        assert errors[1] < errors[2]
+
+    def test_optimum_beats_sampling(self):
+        from repro.experiments import fig04
+
+        result = fig04.run(TINY, bin_grid=np.array([30]))
+        assert result.rows[0]["equi-width MRE"] < result.rows[0]["sampling MRE"]
+
+
+class TestFig05:
+    def test_small_domain_easier(self):
+        from repro.experiments import fig05
+
+        # Include very small bin counts: the near-uniform truncated
+        # slice on n(10) excels exactly there, while the full bell on
+        # n(20) needs far more bins and still ends up worse.
+        result = fig05.run(TINY, bin_grid=np.array([2, 5, 20, 45]))
+        best_small = min(float(r["n(10) MRE"]) for r in result.rows)
+        best_large = min(float(r["n(20) MRE"]) for r in result.rows)
+        assert best_small < best_large
+
+
+class TestFig06:
+    def test_consistency(self):
+        from repro.experiments import fig06
+
+        result = fig06.run(TINY, sample_sizes=(200, 5_000))
+        first, last = result.rows[0], result.rows[-1]
+        for column in ("sampling MRE", "equi-width MRE", "kernel MRE"):
+            assert last[column] < first[column]
+
+    def test_kernel_beats_sampling(self):
+        from repro.experiments import fig06
+
+        result = fig06.run(TINY, sample_sizes=(2_000,))
+        row = result.rows[0]
+        assert row["kernel MRE"] < row["sampling MRE"]
+
+
+class TestFig07:
+    def test_larger_queries_easier(self):
+        from repro.experiments import fig07
+
+        result = fig07.run(TINY, query_sizes=(0.01, 0.10))
+        for row in result.rows:
+            assert row["10% MRE"] < row["1% MRE"]
+
+
+class TestFig10:
+    def test_treatments_beat_untreated_at_edge(self):
+        from repro.experiments import fig10
+
+        result = fig10.run(TINY, positions=40)
+        first = result.rows[0]
+        assert first["reflection rel. error"] < first["none rel. error"]
+        assert first["kernel rel. error"] < first["none rel. error"]
+
+
+class TestFig12:
+    def test_rows_have_all_methods(self):
+        from repro.experiments import fig12
+
+        result = fig12.run(ExperimentConfig(n_queries=60, datasets=("n(20)",)))
+        row = result.rows[0]
+        for method in ("EWH MRE", "Kernel MRE", "Hybrid MRE", "ASH MRE"):
+            assert 0.0 <= float(row[method]) < 1.0
+
+
+class TestOracleFigures:
+    """Structural checks of the oracle-based figures on one dataset;
+    the benchmarks assert the full qualitative shapes."""
+
+    SINGLE = ExperimentConfig(n_queries=60, datasets=("n(20)",))
+
+    def test_fig08_columns(self):
+        from repro.experiments import fig08
+
+        result = fig08.run(self.SINGLE)
+        row = result.rows[0]
+        for column in (
+            "EWH MRE",
+            "EDH MRE",
+            "MDH MRE",
+            "sampling MRE",
+            "uniform MRE",
+            "EWH bins",
+        ):
+            assert column in row
+        assert row["EWH bins"] >= 1
+
+    def test_fig09_oracle_never_loses(self):
+        from repro.experiments import fig09
+
+        result = fig09.run(self.SINGLE)
+        row = result.rows[0]
+        assert row["h-opt MRE"] <= row["h-NS MRE"] + 1e-9
+
+    def test_fig11_oracle_never_loses(self):
+        from repro.experiments import fig11
+
+        result = fig11.run(self.SINGLE)
+        row = result.rows[0]
+        assert row["h-opt MRE"] <= min(row["h-NS MRE"], row["h-DPI2 MRE"]) + 1e-9
+        assert row["h-opt"] > 0
+
+    def test_extended_columns(self):
+        from repro.experiments import extended
+
+        result = extended.run(self.SINGLE)
+        row = result.rows[0]
+        for column in (
+            "EWH MRE",
+            "V-opt MRE",
+            "Wavelet MRE",
+            "End-biased MRE",
+            "Kernel MRE",
+            "Hybrid MRE",
+        ):
+            assert 0.0 <= float(row[column]) < 5.0
+
+
+class TestBarDatasets:
+    def test_paper_list_subset_of_registry(self):
+        from repro.data import registry
+
+        for name in harness.PAPER_BAR_DATASETS:
+            assert registry.spec(name) is not None

@@ -1,0 +1,116 @@
+"""Tests for query-feedback adaptation (repro.feedback)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidQueryError, InvalidSampleError
+from repro.data.domain import Interval
+from repro.feedback import AdaptiveHistogram
+
+DOMAIN = Interval(0.0, 100.0)
+
+
+@pytest.fixture()
+def skewed_relation():
+    """80% of the mass in [0, 20], the rest spread over [20, 100]."""
+    rng = np.random.default_rng(0)
+    values = np.concatenate(
+        [rng.uniform(0, 20, 40_000), rng.uniform(20, 100, 10_000)]
+    )
+    from repro.data.relation import Relation
+
+    return Relation(values, DOMAIN)
+
+
+class TestConstruction:
+    def test_starts_uniform(self):
+        est = AdaptiveHistogram(DOMAIN, bins=10)
+        assert est.selectivity(0.0, 50.0) == pytest.approx(0.5)
+
+    def test_prior_must_be_distribution(self):
+        with pytest.raises(InvalidSampleError):
+            AdaptiveHistogram(DOMAIN, bins=4, prior=np.array([0.5, 0.5, 0.5, 0.5]))
+
+    def test_prior_shape_checked(self):
+        with pytest.raises(InvalidSampleError):
+            AdaptiveHistogram(DOMAIN, bins=4, prior=np.array([1.0]))
+
+    def test_bad_learning_rate(self):
+        with pytest.raises(InvalidSampleError):
+            AdaptiveHistogram(DOMAIN, learning_rate=0.0)
+
+    def test_bad_bins(self):
+        with pytest.raises(InvalidSampleError):
+            AdaptiveHistogram(DOMAIN, bins=0)
+
+
+class TestObserve:
+    def test_single_update_moves_towards_truth(self):
+        est = AdaptiveHistogram(DOMAIN, bins=10, learning_rate=1.0)
+        before = est.selectivity(0.0, 20.0)
+        est.observe(0.0, 20.0, 0.8)
+        after = est.selectivity(0.0, 20.0)
+        assert before == pytest.approx(0.2)
+        assert after == pytest.approx(0.8, abs=0.05)
+
+    def test_mass_stays_normalized(self):
+        est = AdaptiveHistogram(DOMAIN, bins=16)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a = rng.uniform(0, 90)
+            b = a + rng.uniform(1, 10)
+            est.observe(a, b, rng.uniform(0, 1))
+            assert est.bin_masses.sum() == pytest.approx(1.0)
+            assert (est.bin_masses >= 0).all()
+
+    def test_observe_returns_pre_update_error(self):
+        est = AdaptiveHistogram(DOMAIN, bins=10)
+        error = est.observe(0.0, 50.0, 0.9)
+        assert error == pytest.approx(0.4)
+
+    def test_rejects_bad_truth(self):
+        est = AdaptiveHistogram(DOMAIN)
+        with pytest.raises(InvalidQueryError):
+            est.observe(0.0, 10.0, 1.5)
+
+    def test_update_counter(self):
+        est = AdaptiveHistogram(DOMAIN)
+        est.observe(0.0, 10.0, 0.1)
+        est.observe(10.0, 20.0, 0.1)
+        assert est.sample_size == 2
+
+
+class TestLearning:
+    def test_workload_feedback_beats_uniform_start(self, skewed_relation):
+        """After consuming an executed workload the adaptive estimator
+        must clearly outperform its uniform starting point on fresh
+        queries — the Chen & Roussopoulos effect."""
+        from repro.workload import generate_query_file, mean_relative_error
+
+        train = generate_query_file(skewed_relation, 0.05, n_queries=300, seed=2)
+        test = generate_query_file(skewed_relation, 0.05, n_queries=200, seed=3)
+
+        est = AdaptiveHistogram(DOMAIN, bins=32, learning_rate=0.4)
+        baseline = mean_relative_error(est, test)
+        est.observe_workload(
+            train.a, train.b, train.true_counts / train.relation_size
+        )
+        trained = mean_relative_error(est, test)
+        assert trained < 0.5 * baseline
+
+    def test_converges_to_distribution(self, skewed_relation):
+        """Repeated feedback drives the frequency model towards the
+        true left-heavy distribution."""
+        est = AdaptiveHistogram(DOMAIN, bins=10, learning_rate=0.5)
+        rng = np.random.default_rng(4)
+        for _ in range(400):
+            a = rng.uniform(0, 90)
+            b = a + rng.uniform(2, 10)
+            est.observe(a, b, skewed_relation.selectivity(a, b))
+        left = est.selectivity(0.0, 20.0)
+        assert left == pytest.approx(0.8, abs=0.1)
+
+    def test_vectorized_selectivities(self):
+        est = AdaptiveHistogram(DOMAIN, bins=8)
+        out = est.selectivities(np.array([0.0, 25.0]), np.array([50.0, 75.0]))
+        np.testing.assert_allclose(out, [0.5, 0.5])

@@ -1,0 +1,121 @@
+"""Tests for the shared histogram machinery (repro.core.histogram.bins)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import InvalidSampleError
+from repro.core.histogram.bins import PiecewiseConstantDensity, bin_samples
+from repro.data.domain import Interval
+
+
+class TestConstruction:
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(InvalidSampleError):
+            PiecewiseConstantDensity(np.array([0.0, 1.0]), np.array([1.0, 2.0]), 3)
+
+    def test_rejects_decreasing_edges(self):
+        with pytest.raises(InvalidSampleError):
+            PiecewiseConstantDensity(np.array([0.0, 2.0, 1.0]), np.array([1.0, 1.0]), 2)
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(InvalidSampleError):
+            PiecewiseConstantDensity(np.array([0.0, 1.0]), np.array([-1.0]), 1)
+
+    def test_rejects_counts_exceeding_sample(self):
+        with pytest.raises(InvalidSampleError):
+            PiecewiseConstantDensity(np.array([0.0, 1.0]), np.array([5.0]), 3)
+
+    def test_zero_bins_rejected(self):
+        with pytest.raises(InvalidSampleError):
+            PiecewiseConstantDensity(np.array([0.0]), np.array([]), 1)
+
+
+class TestSelectivity:
+    @pytest.fixture()
+    def hist(self):
+        # Two bins on [0, 10]: 30 samples in [0, 5], 70 in [5, 10].
+        return PiecewiseConstantDensity(
+            np.array([0.0, 5.0, 10.0]), np.array([30.0, 70.0]), 100, Interval(0, 10)
+        )
+
+    def test_full_range(self, hist):
+        assert hist.selectivity(0.0, 10.0) == pytest.approx(1.0)
+
+    def test_single_bin(self, hist):
+        assert hist.selectivity(0.0, 5.0) == pytest.approx(0.3)
+
+    def test_partial_bin_uniform_assumption(self, hist):
+        assert hist.selectivity(0.0, 2.5) == pytest.approx(0.15)
+
+    def test_straddling_bins(self, hist):
+        assert hist.selectivity(2.5, 7.5) == pytest.approx(0.15 + 0.35)
+
+    def test_outside_domain_zero(self, hist):
+        assert hist.selectivity(20.0, 30.0) == 0.0
+
+    def test_vectorized_matches_scalar(self, hist):
+        a = np.linspace(0, 8, 17)
+        b = a + 1.5
+        batch = hist.selectivities(a, b)
+        singles = [hist.selectivity(x, y) for x, y in zip(a, b)]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_density_values(self, hist):
+        np.testing.assert_allclose(hist.density(np.array([2.0, 7.0])), [0.06, 0.14])
+
+    def test_density_outside_zero(self, hist):
+        assert hist.density(np.array([-1.0]))[0] == 0.0
+
+    def test_total_mass(self, hist):
+        assert hist.total_mass() == pytest.approx(1.0)
+
+    def test_partial_mass_when_samples_outside(self):
+        hist = PiecewiseConstantDensity(np.array([0.0, 1.0]), np.array([40.0]), 100)
+        assert hist.total_mass() == pytest.approx(0.4)
+
+
+class TestPointMasses:
+    def test_degenerate_bin_becomes_point_mass(self):
+        hist = PiecewiseConstantDensity(
+            np.array([0.0, 2.0, 2.0, 4.0]), np.array([10.0, 30.0, 60.0]), 100
+        )
+        assert hist.point_masses == [(2.0, 0.3)]
+        assert hist.bin_count == 2
+
+    def test_point_mass_counts_when_inside_range(self):
+        hist = PiecewiseConstantDensity(
+            np.array([0.0, 2.0, 2.0, 4.0]), np.array([10.0, 30.0, 60.0]), 100
+        )
+        assert hist.selectivity(1.9, 2.1) == pytest.approx(
+            0.1 * (0.1 / 2.0) + 0.3 + 0.6 * (0.1 / 2.0)
+        )
+
+    def test_point_mass_at_endpoint_included(self):
+        hist = PiecewiseConstantDensity(
+            np.array([0.0, 2.0, 2.0, 4.0]), np.array([0.0, 50.0, 50.0]), 100
+        )
+        assert hist.selectivity(2.0, 2.0) == pytest.approx(0.5)
+
+    def test_all_mass_in_point(self):
+        hist = PiecewiseConstantDensity(np.array([3.0, 3.0, 4.0]), np.array([100.0, 0.0]), 100)
+        assert hist.selectivity(0.0, 10.0) == pytest.approx(1.0)
+        assert hist.selectivity(3.5, 10.0) == 0.0
+
+
+class TestBinSamples:
+    def test_counts(self):
+        counts = bin_samples(np.array([0.5, 1.5, 1.6, 2.5]), np.array([0.0, 1.0, 2.0, 3.0]))
+        np.testing.assert_allclose(counts, [1, 2, 1])
+
+    def test_rightmost_edge_closed(self):
+        counts = bin_samples(np.array([3.0]), np.array([0.0, 1.5, 3.0]))
+        np.testing.assert_allclose(counts, [0, 1])
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=100))
+    @settings(max_examples=40)
+    def test_conserves_in_range_samples(self, values):
+        sample = np.array(values)
+        edges = np.linspace(0.0, 1.0, 7)
+        assert bin_samples(sample, edges).sum() == sample.size

@@ -1,0 +1,121 @@
+"""Tests for the hybrid estimator (repro.core.hybrid)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidSampleError
+from repro.core.hybrid import HybridEstimator
+from repro.core.kernel import make_kernel_estimator
+from repro.data.domain import Interval
+from repro.workload.metrics import mean_relative_error
+from repro.workload.queries import QueryFile
+
+
+@pytest.fixture()
+def domain():
+    return Interval(0.0, 10.0)
+
+
+@pytest.fixture()
+def step_sample():
+    """Sharp density step at 5 — the hybrid's home turf."""
+    rng = np.random.default_rng(11)
+    return np.concatenate([rng.uniform(0, 5, 2_700), rng.uniform(5, 10, 300)])
+
+
+class TestConstruction:
+    def test_partition_covers_domain(self, step_sample, domain):
+        est = HybridEstimator(step_sample, domain)
+        bins = est.bins
+        assert bins[0].low == domain.low
+        assert bins[-1].high == domain.high
+        for left, right in zip(bins, bins[1:]):
+            assert left.high == right.low
+
+    def test_weights_sum_to_one(self, step_sample, domain):
+        est = HybridEstimator(step_sample, domain)
+        assert est.bin_weights.sum() == pytest.approx(1.0)
+
+    def test_detects_the_step(self, step_sample, domain):
+        est = HybridEstimator(step_sample, domain)
+        assert np.min(np.abs(est.change_points - 5.0)) < 0.7
+
+    def test_min_bin_fraction_merging(self, step_sample, domain):
+        est = HybridEstimator(step_sample, domain, min_bin_fraction=0.2)
+        counts = est.bin_weights * est.sample_size
+        assert (counts >= 0.2 * est.sample_size - 1e-9).all() or len(est.bins) == 1
+
+    def test_rejects_bad_fraction(self, step_sample, domain):
+        with pytest.raises(InvalidSampleError):
+            HybridEstimator(step_sample, domain, min_bin_fraction=1.5)
+
+    def test_no_changepoints_single_bin(self, domain):
+        rng = np.random.default_rng(0)
+        sample = rng.uniform(0, 10, 1_000)
+        est = HybridEstimator(
+            sample,
+            domain,
+            changepoint_kwargs={"relative_threshold": 1.1},  # nothing qualifies
+        )
+        assert len(est.bins) == 1
+
+
+class TestSelectivity:
+    def test_mass_conserved(self, step_sample, domain):
+        est = HybridEstimator(step_sample, domain)
+        assert est.selectivity(domain.low, domain.high) == pytest.approx(1.0, abs=0.02)
+
+    def test_clipped_to_unit_range(self, step_sample, domain):
+        est = HybridEstimator(step_sample, domain)
+        assert 0.0 <= est.selectivity(-100.0, 100.0) <= 1.0
+
+    def test_vectorized_matches_scalar(self, step_sample, domain):
+        est = HybridEstimator(step_sample, domain)
+        rng = np.random.default_rng(3)
+        a = rng.uniform(0, 8, 20)
+        b = a + rng.uniform(0, 2, 20)
+        batch = est.selectivities(a, b)
+        singles = [est.selectivity(x, y) for x, y in zip(a, b)]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_step_query_accuracy(self, step_sample, domain):
+        """Queries straddling the step: the hybrid must see ~90/10."""
+        est = HybridEstimator(step_sample, domain)
+        assert est.selectivity(0.0, 5.0) == pytest.approx(0.9, abs=0.03)
+        assert est.selectivity(5.0, 10.0) == pytest.approx(0.1, abs=0.03)
+
+    def test_beats_plain_kernel_on_step_density(self, domain):
+        """The paper's claim: on change-point-heavy data the hybrid is
+        more accurate than a single kernel estimator."""
+        rng = np.random.default_rng(21)
+        data = np.concatenate([rng.uniform(0, 5, 90_000), rng.uniform(5, 10, 10_000)])
+        sample = rng.choice(data, 2_000, replace=False)
+
+        # Queries straddling the change point, where smoothing hurts.
+        centers = rng.uniform(4.4, 5.6, 200)
+        a, b = centers - 0.25, centers + 0.25
+        values = np.sort(data)
+        counts = np.searchsorted(values, b, "right") - np.searchsorted(values, a, "left")
+        queries = QueryFile(a, b, counts, data.size)
+
+        hybrid = HybridEstimator(sample, domain)
+        from repro.bandwidth.normal_scale import kernel_bandwidth
+
+        plain = make_kernel_estimator(
+            sample, kernel_bandwidth(sample), domain, boundary="kernel"
+        )
+        assert mean_relative_error(hybrid, queries) < mean_relative_error(plain, queries)
+
+
+class TestDensity:
+    def test_density_integrates_to_one(self, step_sample, domain):
+        est = HybridEstimator(step_sample, domain)
+        grid = np.linspace(domain.low, domain.high, 4001)
+        mass = np.trapezoid(est.density(grid), grid)
+        assert mass == pytest.approx(1.0, abs=0.03)
+
+    def test_density_reflects_step(self, step_sample, domain):
+        est = HybridEstimator(step_sample, domain)
+        left = est.density(np.array([2.5]))[0]
+        right = est.density(np.array([7.5]))[0]
+        assert left > 5 * right

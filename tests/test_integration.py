@@ -1,0 +1,154 @@
+"""End-to-end integration tests: the paper's qualitative claims.
+
+These tie the whole pipeline together — data files, sampling, query
+files, estimators, selection rules, metrics — and assert the claims
+the reproduction stands on.  They use the FAST experiment protocol
+(150 queries) so the whole module stays under a minute.
+"""
+
+import numpy as np
+import pytest
+
+from repro import estimators
+from repro.bandwidth.normal_scale import kernel_bandwidth
+from repro.core.kernel import make_kernel_estimator
+from repro.experiments.harness import FAST, load_context
+from repro.workload.metrics import mean_relative_error, summarize_errors
+from repro.workload.queries import position_sweep
+
+
+@pytest.fixture(scope="module")
+def n20():
+    return load_context("n(20)", FAST)
+
+
+@pytest.fixture(scope="module")
+def u20():
+    return load_context("u(20)", FAST)
+
+
+@pytest.fixture(scope="module")
+def arap1():
+    return load_context("arap1", FAST)
+
+
+class TestOrderingClaims:
+    def test_kernel_beats_histogram_beats_sampling_on_normal(self, n20):
+        """Paper Fig. 6 / §5.2.2: kernel < equi-width < sampling."""
+        sample, domain, queries = n20.sample, n20.relation.domain, n20.queries
+        kernel = mean_relative_error(estimators.kernel(sample, domain), queries)
+        ewh = mean_relative_error(estimators.equi_width(sample, domain), queries)
+        sampling = mean_relative_error(estimators.sampling(sample), queries)
+        assert kernel < ewh < sampling
+
+    def test_uniform_estimator_collapses_on_skewed_data(self):
+        """Paper Fig. 8: the uniform assumption is catastrophically bad
+        on the census file."""
+        context = load_context("iw", FAST)
+        uniform = mean_relative_error(
+            estimators.uniform(context.relation.domain), context.queries
+        )
+        ewh = mean_relative_error(
+            estimators.equi_width(context.sample, context.relation.domain),
+            context.queries,
+        )
+        assert uniform > 3 * ewh
+
+    def test_uniform_estimator_fine_on_uniform_data(self, u20):
+        """...but on uniform data it is essentially free and accurate."""
+        uniform = mean_relative_error(
+            estimators.uniform(u20.relation.domain), u20.queries
+        )
+        assert uniform < 0.10
+
+    def test_hybrid_beats_kernel_on_changepoint_data(self, arap1):
+        """Paper Fig. 12: on TIGER-like data the hybrid wins."""
+        from repro.experiments.fig12 import HYBRID_KWARGS
+
+        sample, domain, queries = arap1.sample, arap1.relation.domain, arap1.queries
+        hybrid = mean_relative_error(
+            estimators.hybrid(sample, domain, **HYBRID_KWARGS), queries
+        )
+        kernel = mean_relative_error(
+            estimators.kernel(sample, domain, bandwidth="plug-in"), queries
+        )
+        assert hybrid < kernel
+
+    def test_kernel_beats_hybrid_on_smooth_data(self, n20):
+        """...and on smooth synthetic data the plain kernel wins."""
+        from repro.experiments.fig12 import HYBRID_KWARGS
+
+        sample, domain, queries = n20.sample, n20.relation.domain, n20.queries
+        hybrid = mean_relative_error(
+            estimators.hybrid(sample, domain, **HYBRID_KWARGS), queries
+        )
+        kernel = mean_relative_error(
+            estimators.kernel(sample, domain, bandwidth="plug-in"), queries
+        )
+        assert kernel < hybrid
+
+
+class TestBoundaryClaims:
+    def test_boundary_treatment_halves_edge_error(self, u20):
+        """Paper Figs. 3/10: both treatments collapse the edge spike."""
+        sample, relation = u20.sample, u20.relation
+        h = kernel_bandwidth(sample)
+        sweep = position_sweep(relation, 0.01, n_positions=60)
+        edge_queries = slice(0, 5)
+
+        def edge_error(boundary: str) -> float:
+            est = make_kernel_estimator(sample, h, relation.domain, boundary=boundary)
+            from repro.workload.metrics import relative_errors
+
+            rel = relative_errors(est, sweep)[edge_queries]
+            return float(np.nanmean(rel))
+
+        untreated = edge_error("none")
+        assert edge_error("reflection") < 0.5 * untreated
+        assert edge_error("kernel") < 0.5 * untreated
+
+
+class TestSelectionRuleClaims:
+    def test_ns_good_on_synthetic_bad_on_real(self, n20, arap1):
+        """Paper Fig. 11: the NS bandwidth is near-optimal on Normal
+        data but oversmooths badly on TIGER-like data, where the
+        plug-in rule recovers most of the loss."""
+
+        def errors(context):
+            sample, domain, queries = (
+                context.sample,
+                context.relation.domain,
+                context.queries,
+            )
+            ns = mean_relative_error(
+                estimators.kernel(sample, domain, bandwidth="normal-scale"), queries
+            )
+            dpi = mean_relative_error(
+                estimators.kernel(sample, domain, bandwidth="plug-in"), queries
+            )
+            return ns, dpi
+
+        ns_synth, dpi_synth = errors(n20)
+        ns_real, dpi_real = errors(arap1)
+        assert abs(ns_synth - dpi_synth) < 0.05  # both fine on Normal
+        assert dpi_real < 0.75 * ns_real  # DPI clearly better on real data
+
+
+class TestEndToEndWorkflow:
+    def test_quickstart_flow(self, n20):
+        """The README quickstart path, asserted end to end."""
+        relation = n20.relation
+        sample = n20.sample
+        est = estimators.kernel(sample, relation.domain)
+        width = 0.01 * relation.domain.width
+        center = relation.domain.center
+        a, b = center - width / 2, center + width / 2
+        estimate = est.estimate_result_size(a, b, relation.size)
+        true = relation.count(a, b)
+        assert abs(estimate - true) < 0.25 * true
+
+    def test_summary_over_query_file(self, n20):
+        est = estimators.equi_width(n20.sample, n20.relation.domain)
+        summary = summarize_errors(est, n20.queries)
+        assert 0.0 < summary.mre < 0.5
+        assert summary.n_queries == len(n20.queries)

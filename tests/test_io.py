@@ -1,0 +1,76 @@
+"""Tests for dataset import/export (repro.data.io)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidSampleError
+from repro.data import io, registry
+from repro.data.domain import IntegerDomain, Interval
+from repro.data.relation import Relation
+from repro.workload.queries import generate_query_file
+
+
+@pytest.fixture()
+def relation():
+    rng = np.random.default_rng(0)
+    domain = IntegerDomain(12)
+    return Relation(domain.snap(rng.uniform(0, 4095, 5_000)), domain, name="io-test")
+
+
+class TestRelationRoundtrip:
+    def test_values_preserved(self, relation, tmp_path):
+        path = io.save_relation(relation, tmp_path / "rel.npz")
+        loaded = io.load_relation(path)
+        np.testing.assert_array_equal(loaded.values, relation.values)
+        assert loaded.name == "io-test"
+
+    def test_integer_domain_preserved(self, relation, tmp_path):
+        path = io.save_relation(relation, tmp_path / "rel.npz")
+        loaded = io.load_relation(path)
+        assert isinstance(loaded.domain, IntegerDomain)
+        assert loaded.domain.p == 12
+
+    def test_real_domain_preserved(self, tmp_path):
+        domain = Interval(-3.5, 9.25)
+        relation = Relation(np.array([0.0, 1.0, 2.0]), domain)
+        loaded = io.load_relation(io.save_relation(relation, tmp_path / "r.npz"))
+        assert loaded.domain == domain
+
+    def test_suffix_added_when_missing(self, relation, tmp_path):
+        path = io.save_relation(relation, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_wrong_kind_rejected(self, relation, tmp_path):
+        queries = generate_query_file(relation, 0.05, n_queries=5, seed=1)
+        path = io.save_query_file(queries, tmp_path / "q.npz")
+        with pytest.raises(InvalidSampleError):
+            io.load_relation(path)
+
+
+class TestQueryFileRoundtrip:
+    def test_roundtrip(self, relation, tmp_path):
+        queries = generate_query_file(relation, 0.05, n_queries=20, seed=1)
+        path = io.save_query_file(queries, tmp_path / "q.npz")
+        loaded = io.load_query_file(path)
+        np.testing.assert_array_equal(loaded.a, queries.a)
+        np.testing.assert_array_equal(loaded.true_counts, queries.true_counts)
+        assert loaded.relation_size == queries.relation_size
+        assert loaded.size_fraction == queries.size_fraction
+
+    def test_wrong_kind_rejected(self, relation, tmp_path):
+        path = io.save_relation(relation, tmp_path / "rel.npz")
+        with pytest.raises(InvalidSampleError):
+            io.load_query_file(path)
+
+
+class TestExportEnvironment:
+    def test_exports_requested_files(self, tmp_path):
+        written = io.export_test_environment(
+            tmp_path, datasets=["n(10)"], query_sizes=(0.01,), n_queries=10
+        )
+        assert len(written) == 2  # relation + one query file
+        relation = io.load_relation(written[0])
+        assert relation.size == registry.spec("n(10)").n_records
+        queries = io.load_query_file(written[1])
+        assert len(queries) == 10

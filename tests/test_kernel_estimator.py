@@ -1,0 +1,118 @@
+"""Tests for the kernel selectivity estimator (repro.core.kernel.estimator)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import InvalidSampleError
+from repro.core.kernel import KERNELS, KernelSelectivityEstimator
+from repro.data.domain import Interval
+
+
+@pytest.fixture()
+def sample():
+    return np.random.default_rng(0).uniform(0.0, 10.0, 400)
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_bandwidth(self, sample):
+        with pytest.raises(InvalidSampleError):
+            KernelSelectivityEstimator(sample, 0.0)
+        with pytest.raises(InvalidSampleError):
+            KernelSelectivityEstimator(sample, -1.0)
+
+    def test_rejects_nan_bandwidth(self, sample):
+        with pytest.raises(InvalidSampleError):
+            KernelSelectivityEstimator(sample, np.nan)
+
+    def test_properties(self, sample):
+        est = KernelSelectivityEstimator(sample, 0.5)
+        assert est.sample_size == 400
+        assert est.bandwidth == 0.5
+        assert est.kernel.name == "epanechnikov"
+
+
+class TestAlgorithmOne:
+    """The windowed fast path must agree with the Theta(n) scan."""
+
+    @pytest.mark.parametrize("kernel", sorted(KERNELS))
+    def test_fast_path_matches_scan(self, sample, kernel):
+        est = KernelSelectivityEstimator(sample, 0.7, kernel)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            a = rng.uniform(-2, 11)
+            b = a + rng.uniform(0, 6)
+            assert est.selectivity(a, b) == pytest.approx(
+                est.selectivity_scan(a, b), abs=1e-12
+            )
+
+    def test_overlapping_endpoint_zones(self, sample):
+        """Queries narrower than 2h exercise the no-shortcut branch."""
+        est = KernelSelectivityEstimator(sample, 2.0)
+        for a, b in [(3.0, 3.5), (5.0, 5.0), (0.0, 3.9)]:
+            assert est.selectivity(a, b) == pytest.approx(
+                est.selectivity_scan(a, b), abs=1e-12
+            )
+
+    def test_query_wider_than_reach(self, sample):
+        est = KernelSelectivityEstimator(sample, 0.1)
+        assert est.selectivity(-1.0, 11.0) == pytest.approx(1.0)
+
+    def test_far_away_query_zero(self, sample):
+        est = KernelSelectivityEstimator(sample, 0.5)
+        assert est.selectivity(100.0, 200.0) == 0.0
+
+    def test_vectorized_matches_scalar(self, sample):
+        est = KernelSelectivityEstimator(sample, 0.8)
+        rng = np.random.default_rng(2)
+        a = rng.uniform(0, 8, 25)
+        b = a + rng.uniform(0, 2, 25)
+        batch = est.selectivities(a, b)
+        singles = [est.selectivity(x, y) for x, y in zip(a, b)]
+        np.testing.assert_allclose(batch, singles)
+
+    @given(st.floats(0.05, 5.0), st.floats(-1, 10), st.floats(0, 5))
+    @settings(max_examples=50, deadline=None)
+    def test_fast_path_property(self, h, a, width):
+        sample = np.linspace(0.0, 10.0, 37)
+        est = KernelSelectivityEstimator(sample, h)
+        assert est.selectivity(a, a + width) == pytest.approx(
+            est.selectivity_scan(a, a + width), abs=1e-12
+        )
+
+
+class TestDensity:
+    def test_density_integrates_to_selectivity(self, sample):
+        est = KernelSelectivityEstimator(sample, 0.6)
+        grid = np.linspace(2.0, 5.0, 3001)
+        numeric = np.trapezoid(est.density(grid), grid)
+        assert numeric == pytest.approx(est.selectivity(2.0, 5.0), abs=1e-4)
+
+    def test_density_nonnegative(self, sample):
+        est = KernelSelectivityEstimator(sample, 0.6)
+        grid = np.linspace(-2, 12, 200)
+        assert (est.density(grid) >= 0).all()
+
+    def test_single_sample_bump(self):
+        est = KernelSelectivityEstimator(np.array([5.0]), 1.0)
+        assert est.density(np.array([5.0]))[0] == pytest.approx(0.75)
+        assert est.density(np.array([6.5]))[0] == 0.0
+
+
+class TestBoundaryBias:
+    def test_mass_leaks_at_domain_edge(self):
+        """Without treatment, a query at the edge loses ~half the mass
+        of edge-adjacent samples — the paper's Fig. 3 effect."""
+        rng = np.random.default_rng(5)
+        domain = Interval(0.0, 10.0)
+        sample = rng.uniform(0, 10, 2_000)
+        est = KernelSelectivityEstimator(sample, 1.0, domain=domain)
+        edge = est.selectivity(0.0, 1.0)
+        center = est.selectivity(4.5, 5.5)
+        assert edge < 0.8 * center
+
+    def test_whole_line_mass_is_one(self):
+        sample = np.random.default_rng(6).uniform(0, 10, 300)
+        est = KernelSelectivityEstimator(sample, 1.0)
+        assert est.selectivity(-10.0, 20.0) == pytest.approx(1.0)

@@ -1,0 +1,132 @@
+"""Tests for feedback-weighted kernels (repro.feedback.kernel_feedback)."""
+
+import numpy as np
+import pytest
+
+from repro.bandwidth.normal_scale import kernel_bandwidth
+from repro.core.base import InvalidQueryError, InvalidSampleError
+from repro.core.kernel import make_kernel_estimator
+from repro.data.domain import Interval
+from repro.data.relation import Relation
+from repro.feedback import FeedbackKernelEstimator
+
+DOMAIN = Interval(0.0, 100.0)
+
+
+@pytest.fixture()
+def biased_setup():
+    """A relation whose sample under-represents a hot region.
+
+    The relation is 60/40 between [0,50] and [50,100], but the sample
+    is drawn 50/50 — the static kernel inherits the bias, feedback
+    must repair it.
+    """
+    rng = np.random.default_rng(0)
+    data = np.concatenate(
+        [rng.uniform(0, 50, 60_000), rng.uniform(50, 100, 40_000)]
+    )
+    relation = Relation(data, DOMAIN)
+    sample = np.concatenate(
+        [rng.uniform(0, 50, 500), rng.uniform(50, 100, 500)]
+    )
+    return relation, sample
+
+
+class TestConstruction:
+    def test_rejects_bad_rate(self, biased_setup):
+        _, sample = biased_setup
+        with pytest.raises(InvalidSampleError):
+            FeedbackKernelEstimator(sample, 5.0, DOMAIN, learning_rate=2.0)
+
+    def test_rejects_bad_bandwidth(self, biased_setup):
+        _, sample = biased_setup
+        with pytest.raises(InvalidSampleError):
+            FeedbackKernelEstimator(sample, -1.0, DOMAIN)
+
+    def test_weights_start_uniform(self, biased_setup):
+        _, sample = biased_setup
+        est = FeedbackKernelEstimator(sample, 5.0, DOMAIN)
+        np.testing.assert_allclose(est.weights, 1.0 / sample.size)
+
+    def test_matches_reflection_kernel_before_feedback(self, biased_setup):
+        _, sample = biased_setup
+        h = 5.0
+        est = FeedbackKernelEstimator(sample, h, DOMAIN)
+        reference = make_kernel_estimator(sample, h, DOMAIN, boundary="reflection")
+        for a, b in [(0.0, 25.0), (40.0, 60.0), (90.0, 100.0)]:
+            assert est.selectivity(a, b) == pytest.approx(
+                reference.selectivity(a, b), abs=1e-12
+            )
+
+
+class TestObserve:
+    def test_moves_towards_truth(self, biased_setup):
+        _, sample = biased_setup
+        est = FeedbackKernelEstimator(sample, 5.0, DOMAIN, learning_rate=1.0)
+        before = est.selectivity(0.0, 50.0)
+        for _ in range(10):
+            est.observe(0.0, 50.0, 0.6)
+        after = est.selectivity(0.0, 50.0)
+        assert abs(after - 0.6) < abs(before - 0.6)
+
+    def test_weights_stay_normalized(self, biased_setup):
+        _, sample = biased_setup
+        est = FeedbackKernelEstimator(sample, 5.0, DOMAIN)
+        rng = np.random.default_rng(1)
+        for _ in range(40):
+            a = rng.uniform(0, 90)
+            est.observe(a, a + rng.uniform(1, 10), rng.uniform(0, 0.5))
+            assert est.weights.sum() == pytest.approx(1.0)
+            assert (est.weights >= 0).all()
+
+    def test_returns_pre_update_error(self, biased_setup):
+        _, sample = biased_setup
+        est = FeedbackKernelEstimator(sample, 5.0, DOMAIN)
+        before = est.selectivity(0.0, 50.0)
+        error = est.observe(0.0, 50.0, 0.8)
+        assert error == pytest.approx(0.8 - before)
+
+    def test_rejects_bad_truth(self, biased_setup):
+        _, sample = biased_setup
+        est = FeedbackKernelEstimator(sample, 5.0, DOMAIN)
+        with pytest.raises(InvalidQueryError):
+            est.observe(0.0, 10.0, -0.1)
+
+    def test_update_counter(self, biased_setup):
+        _, sample = biased_setup
+        est = FeedbackKernelEstimator(sample, 5.0, DOMAIN)
+        est.observe(0.0, 10.0, 0.1)
+        assert est.updates == 1
+
+
+class TestLearning:
+    def test_repairs_a_biased_sample(self, biased_setup):
+        """The §6 claim in miniature: feedback corrects what the sample
+        got wrong, on queries the training never saw verbatim."""
+        from repro.workload import generate_query_file, mean_relative_error
+
+        relation, sample = biased_setup
+        h = kernel_bandwidth(sample)
+        est = FeedbackKernelEstimator(sample, h, DOMAIN, learning_rate=0.5)
+        static = make_kernel_estimator(sample, h, DOMAIN, boundary="reflection")
+
+        train = generate_query_file(relation, 0.05, n_queries=300, seed=3)
+        test = generate_query_file(relation, 0.05, n_queries=200, seed=4)
+
+        est.observe_workload(
+            train.a, train.b, train.true_counts / train.relation_size
+        )
+        assert mean_relative_error(est, test) < mean_relative_error(static, test)
+
+    def test_density_remains_smooth_and_normalized(self, biased_setup):
+        relation, sample = biased_setup
+        est = FeedbackKernelEstimator(sample, 5.0, DOMAIN, learning_rate=0.5)
+        rng = np.random.default_rng(5)
+        for _ in range(100):
+            a = rng.uniform(0, 90)
+            b = a + rng.uniform(2, 10)
+            est.observe(a, b, relation.selectivity(a, b))
+        grid = np.linspace(0, 100, 2001)
+        density = est.density(grid)
+        assert (density >= 0).all()
+        assert np.trapezoid(density, grid) == pytest.approx(1.0, abs=0.02)

@@ -1,0 +1,104 @@
+"""Tests for kernel functions (repro.core.kernel.functions).
+
+Every kernel's closed-form CDF and AMISE constants are checked against
+numerical integration, so a typo in any primitive cannot survive.
+"""
+
+import numpy as np
+import pytest
+from scipy import integrate
+
+from repro.core.kernel.functions import KERNELS, get_kernel
+
+ALL_KERNELS = sorted(KERNELS)
+
+
+@pytest.mark.parametrize("name", ALL_KERNELS)
+class TestKernelProperties:
+    def test_integrates_to_one(self, name):
+        kernel = KERNELS[name]
+        lo = -min(kernel.support, 12.0)
+        value, _ = integrate.quad(lambda t: float(kernel.pdf(t)), lo, -lo, limit=200)
+        assert value == pytest.approx(1.0, abs=1e-8)
+
+    def test_symmetric(self, name):
+        kernel = KERNELS[name]
+        t = np.linspace(0.01, min(kernel.support, 5.0), 50)
+        np.testing.assert_allclose(kernel.pdf(t), kernel.pdf(-t))
+
+    def test_nonnegative(self, name):
+        kernel = KERNELS[name]
+        t = np.linspace(-2 * min(kernel.support, 5.0), 2 * min(kernel.support, 5.0), 201)
+        assert (kernel.pdf(t) >= 0).all()
+
+    def test_cdf_matches_numeric_integral(self, name):
+        kernel = KERNELS[name]
+        lo = -min(kernel.support, 12.0)
+        for t in (-0.9, -0.3, 0.0, 0.4, 0.99):
+            numeric, _ = integrate.quad(
+                lambda u: float(kernel.pdf(u)), lo, t, limit=200
+            )
+            assert float(kernel.cdf(t)) == pytest.approx(numeric, abs=1e-8)
+
+    def test_cdf_limits(self, name):
+        kernel = KERNELS[name]
+        assert float(kernel.cdf(-50.0)) == pytest.approx(0.0, abs=1e-12)
+        assert float(kernel.cdf(50.0)) == pytest.approx(1.0, abs=1e-12)
+
+    def test_cdf_monotone(self, name):
+        kernel = KERNELS[name]
+        t = np.linspace(-1.5, 1.5, 301)
+        assert (np.diff(kernel.cdf(t)) >= -1e-15).all()
+
+    def test_second_moment_constant(self, name):
+        kernel = KERNELS[name]
+        lo = -min(kernel.support, 12.0)
+        value, _ = integrate.quad(
+            lambda t: t * t * float(kernel.pdf(t)), lo, -lo, limit=200
+        )
+        assert value == pytest.approx(kernel.k2, rel=1e-6)
+
+    def test_roughness_constant(self, name):
+        kernel = KERNELS[name]
+        lo = -min(kernel.support, 12.0)
+        value, _ = integrate.quad(
+            lambda t: float(kernel.pdf(t)) ** 2, lo, -lo, limit=200
+        )
+        assert value == pytest.approx(kernel.roughness, rel=1e-6)
+
+    def test_first_moment_vanishes(self, name):
+        kernel = KERNELS[name]
+        lo = -min(kernel.support, 12.0)
+        value, _ = integrate.quad(
+            lambda t: t * float(kernel.pdf(t)), lo, -lo, limit=200
+        )
+        assert value == pytest.approx(0.0, abs=1e-9)
+
+    def test_mass_between(self, name):
+        kernel = KERNELS[name]
+        assert float(kernel.mass_between(-0.5, 0.5)) == pytest.approx(
+            float(kernel.cdf(0.5) - kernel.cdf(-0.5))
+        )
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_kernel("epanechnikov").name == "epanechnikov"
+
+    def test_lookup_case_insensitive(self):
+        assert get_kernel("  Gaussian ").name == "gaussian"
+
+    def test_passthrough(self):
+        kernel = KERNELS["biweight"]
+        assert get_kernel(kernel) is kernel
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_kernel("parabolic")
+
+    def test_paper_epanechnikov_constants(self):
+        """The constants the paper's formulas rely on: k2 = 1/5 and
+        the primitive F_K(t) = (3t - t^3)/4 + 1/2."""
+        kernel = get_kernel("epanechnikov")
+        assert kernel.k2 == pytest.approx(0.2)
+        assert float(kernel.cdf(0.5)) == pytest.approx(0.5 + (1.5 - 0.125) / 4)

@@ -1,0 +1,74 @@
+"""Tests for max-diff histograms (repro.core.histogram.max_diff)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidSampleError
+from repro.core.histogram import MaxDiffHistogram
+from repro.data.domain import Interval
+
+
+class TestBoundaryPlacement:
+    def test_boundary_in_largest_gap(self):
+        # Largest gap is between 3 and 9.
+        sample = np.array([1.0, 2.0, 3.0, 9.0, 10.0])
+        hist = MaxDiffHistogram(sample, 2)
+        assert hist.bin_count == 2
+        cut = hist.boundaries[1]
+        assert 3.0 < cut < 9.0
+
+    def test_k_minus_one_boundaries(self):
+        sample = np.array([0.0, 1.0, 5.0, 6.0, 20.0, 21.0])
+        hist = MaxDiffHistogram(sample, 3)
+        # Cuts in the two largest gaps: (6, 20) and (1, 5).
+        interior = hist.boundaries[1:-1]
+        assert len(interior) == 2
+        assert any(6 < c < 20 for c in interior)
+        assert any(1 < c < 5 for c in interior)
+
+    def test_outer_bounds_are_sample_extremes(self):
+        sample = np.array([2.0, 4.0, 8.0])
+        hist = MaxDiffHistogram(sample, 2)
+        assert hist.boundaries[0] == 2.0
+        assert hist.boundaries[-1] == 8.0
+
+    def test_degenerates_with_few_distinct_values(self):
+        sample = np.array([1.0, 1.0, 2.0, 2.0])
+        hist = MaxDiffHistogram(sample, 10)
+        # Only one gap exists: at most two bins.
+        assert hist.bin_count <= 2
+
+    def test_single_distinct_value_is_point_mass(self):
+        hist = MaxDiffHistogram(np.full(50, 7.0), 4)
+        assert hist.selectivity(7.0, 7.0) == pytest.approx(1.0)
+        assert hist.selectivity(8.0, 9.0) == 0.0
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(InvalidSampleError):
+            MaxDiffHistogram(np.array([1.0, 2.0]), 0)
+
+
+class TestSelectivity:
+    def test_mass_conserved(self):
+        rng = np.random.default_rng(8)
+        sample = rng.normal(0, 1, 400)
+        hist = MaxDiffHistogram(sample, 12)
+        assert hist.selectivity(sample.min(), sample.max()) == pytest.approx(1.0)
+
+    def test_cluster_separation(self):
+        """Two well-separated clusters: the single cut lands mid-gap,
+        so each side of the cut carries exactly one cluster's mass."""
+        rng = np.random.default_rng(2)
+        sample = np.concatenate(
+            [rng.uniform(0, 1, 300), rng.uniform(9, 10, 700)]
+        )
+        hist = MaxDiffHistogram(sample, 2, Interval(0, 10))
+        cut = hist.boundaries[1]
+        assert hist.selectivity(0.0, cut) == pytest.approx(0.3, abs=0.01)
+        assert hist.selectivity(cut, 10.0) == pytest.approx(0.7, abs=0.01)
+
+    def test_deterministic_tie_break(self):
+        sample = np.array([0.0, 2.0, 4.0, 6.0])  # all gaps equal
+        a = MaxDiffHistogram(sample, 3).boundaries
+        b = MaxDiffHistogram(sample, 3).boundaries
+        np.testing.assert_allclose(a, b)

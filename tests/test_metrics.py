@@ -1,0 +1,89 @@
+"""Tests for error metrics (repro.workload.metrics)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import SelectivityEstimator
+from repro.workload.metrics import (
+    estimated_counts,
+    mean_absolute_error,
+    mean_relative_error,
+    relative_errors,
+    signed_errors,
+    summarize_errors,
+)
+from repro.workload.queries import QueryFile
+
+
+class ConstantEstimator(SelectivityEstimator):
+    """Fixed-selectivity stub for metric arithmetic tests."""
+
+    def __init__(self, value: float):
+        self._value = value
+
+    @property
+    def sample_size(self) -> int:
+        return 1
+
+    def selectivity(self, a: float, b: float) -> float:
+        return self._value
+
+
+@pytest.fixture()
+def queries():
+    # Relation of 1,000 records; true counts 100, 200, 0.
+    return QueryFile(
+        np.array([0.0, 10.0, 20.0]),
+        np.array([5.0, 15.0, 25.0]),
+        np.array([100, 200, 0]),
+        1_000,
+    )
+
+
+class TestSignedErrors:
+    def test_values(self, queries):
+        est = ConstantEstimator(0.15)  # 150 records everywhere
+        np.testing.assert_allclose(signed_errors(est, queries), [50.0, -50.0, 150.0])
+
+    def test_perfect_estimator_zero_error(self, queries):
+        class Perfect(ConstantEstimator):
+            def selectivity(self, a, b):
+                return {0.0: 0.1, 10.0: 0.2, 20.0: 0.0}[a]
+
+        np.testing.assert_allclose(signed_errors(Perfect(0), queries), [0.0, 0.0, 0.0])
+
+
+class TestRelativeErrors:
+    def test_zero_result_queries_are_nan(self, queries):
+        rel = relative_errors(ConstantEstimator(0.15), queries)
+        assert np.isnan(rel[2])
+        np.testing.assert_allclose(rel[:2], [0.5, 0.25])
+
+    def test_mre_excludes_zero_results(self, queries):
+        mre = mean_relative_error(ConstantEstimator(0.15), queries)
+        assert mre == pytest.approx((0.5 + 0.25) / 2)
+
+    def test_mre_raises_when_all_queries_empty(self):
+        qf = QueryFile(np.array([0.0]), np.array([1.0]), np.array([0]), 100)
+        with pytest.raises(ValueError):
+            mean_relative_error(ConstantEstimator(0.5), qf)
+
+
+class TestAbsoluteError:
+    def test_mae_in_record_units(self, queries):
+        mae = mean_absolute_error(ConstantEstimator(0.15), queries)
+        assert mae == pytest.approx((50 + 50 + 150) / 3)
+
+
+class TestSummary:
+    def test_summary_fields(self, queries):
+        summary = summarize_errors(ConstantEstimator(0.15), queries)
+        assert summary.mre == pytest.approx(0.375)
+        assert summary.mae == pytest.approx(250 / 3)
+        assert summary.max_relative == pytest.approx(0.5)
+        assert summary.n_queries == 3
+        assert summary.n_zero_result == 1
+
+    def test_estimated_counts_scale_with_relation_size(self, queries):
+        counts = estimated_counts(ConstantEstimator(0.5), queries)
+        np.testing.assert_allclose(counts, [500.0, 500.0, 500.0])

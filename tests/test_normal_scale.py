@@ -1,0 +1,91 @@
+"""Tests for normal scale rules (repro.bandwidth.normal_scale)."""
+
+import numpy as np
+import pytest
+
+from repro.bandwidth.normal_scale import (
+    EPANECHNIKOV_CONSTANT,
+    EQUI_WIDTH_CONSTANT,
+    histogram_bin_count,
+    histogram_bin_width,
+    kernel_bandwidth,
+)
+from repro.bandwidth.scale import robust_scale
+from repro.core.base import InvalidSampleError
+from repro.data.domain import Interval
+
+
+@pytest.fixture()
+def normal_sample():
+    return np.random.default_rng(0).normal(0.0, 1.0, 2_000)
+
+
+class TestPaperConstants:
+    def test_equi_width_constant(self):
+        """(24 sqrt(pi))^(1/3) from paper eq. 8."""
+        assert EQUI_WIDTH_CONSTANT == pytest.approx((24 * np.sqrt(np.pi)) ** (1 / 3))
+
+    def test_epanechnikov_constant_is_2_345(self):
+        """The paper's 2.345 = (40 sqrt(pi))^(1/5)."""
+        assert EPANECHNIKOV_CONSTANT == pytest.approx(2.345, abs=0.001)
+
+
+class TestBinWidth:
+    def test_matches_closed_form(self, normal_sample):
+        s = robust_scale(normal_sample)
+        n = normal_sample.size
+        expected = EQUI_WIDTH_CONSTANT * s * n ** (-1 / 3)
+        assert histogram_bin_width(normal_sample) == pytest.approx(expected)
+
+    def test_shrinks_with_n(self):
+        rng = np.random.default_rng(1)
+        small = histogram_bin_width(rng.normal(0, 1, 200))
+        large = histogram_bin_width(rng.normal(0, 1, 20_000))
+        assert large < small
+
+    def test_scales_with_spread(self):
+        rng = np.random.default_rng(2)
+        narrow = histogram_bin_width(rng.normal(0, 1, 2_000))
+        wide = histogram_bin_width(rng.normal(0, 10, 2_000))
+        assert wide == pytest.approx(10 * narrow, rel=0.1)
+
+
+class TestBinCount:
+    def test_count_times_width_covers_domain(self, normal_sample):
+        domain = Interval(-5.0, 5.0)
+        clipped = np.clip(normal_sample, -5, 5)
+        bins = histogram_bin_count(clipped, domain)
+        width = histogram_bin_width(clipped)
+        assert bins >= domain.width / width - 1
+        assert bins <= domain.width / width + 1
+
+    def test_at_least_one_bin(self):
+        sample = np.random.default_rng(3).normal(0, 100, 100)
+        assert histogram_bin_count(sample, Interval(-0.1, 0.1)) == 1
+
+
+class TestKernelBandwidth:
+    def test_matches_closed_form(self, normal_sample):
+        s = robust_scale(normal_sample)
+        n = normal_sample.size
+        expected = EPANECHNIKOV_CONSTANT * s * n ** (-1 / 5)
+        assert kernel_bandwidth(normal_sample) == pytest.approx(expected)
+
+    def test_gaussian_bandwidth_smaller(self, normal_sample):
+        """Canonical kernels: the Gaussian needs a smaller h for the
+        same smoothing."""
+        assert kernel_bandwidth(normal_sample, "gaussian") < kernel_bandwidth(
+            normal_sample, "epanechnikov"
+        )
+
+    def test_needs_two_samples(self):
+        with pytest.raises(InvalidSampleError):
+            kernel_bandwidth(np.array([1.0]))
+
+    def test_near_amise_optimal_on_normal_data(self, normal_sample):
+        """On genuinely Normal data the NS bandwidth should sit near
+        the true AMISE optimum."""
+        from repro.bandwidth.amise import normal_roughness, optimal_bandwidth
+
+        truth = optimal_bandwidth(normal_sample.size, normal_roughness(2, 1.0))
+        assert kernel_bandwidth(normal_sample) == pytest.approx(truth, rel=0.1)

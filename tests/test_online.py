@@ -1,0 +1,117 @@
+"""Tests for online aggregation (repro.online)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidQueryError
+from repro.data.domain import Interval
+from repro.data.relation import Relation
+from repro.online import OnlineAggregator, OnlineKernelSelectivity
+
+
+@pytest.fixture()
+def relation():
+    rng = np.random.default_rng(0)
+    domain = Interval(0.0, 100.0)
+    values = np.clip(rng.normal(40.0, 15.0, 50_000), 0, 100)
+    return Relation(values, domain)
+
+
+class TestOnlineAggregator:
+    def test_requires_advance_before_estimate(self, relation):
+        agg = OnlineAggregator(relation, seed=1)
+        with pytest.raises(InvalidQueryError):
+            agg.estimate(0.0, 50.0)
+
+    def test_estimate_converges_to_truth(self, relation):
+        agg = OnlineAggregator(relation, seed=1)
+        true = relation.selectivity(30.0, 50.0)
+        agg.advance(500)
+        early = agg.estimate(30.0, 50.0)
+        agg.advance(relation.size)  # finish the scan
+        final = agg.estimate(30.0, 50.0)
+        assert abs(final.estimate - true) <= abs(early.estimate - true) + 1e-12
+        assert final.estimate == pytest.approx(true, abs=1e-12)
+
+    def test_interval_shrinks(self, relation):
+        agg = OnlineAggregator(relation, seed=2)
+        agg.advance(500)
+        early = agg.estimate(30.0, 50.0).half_width
+        agg.advance(20_000)
+        later = agg.estimate(30.0, 50.0).half_width
+        assert later < early
+
+    def test_interval_zero_when_exhausted(self, relation):
+        agg = OnlineAggregator(relation, seed=3)
+        agg.advance(relation.size)
+        assert agg.exhausted
+        assert agg.estimate(0.0, 100.0).half_width == pytest.approx(0.0)
+
+    def test_interval_covers_truth_usually(self, relation):
+        """95% CIs should cover the truth in most replications."""
+        true = relation.selectivity(30.0, 50.0)
+        covered = 0
+        for seed in range(20):
+            agg = OnlineAggregator(relation, seed=seed)
+            agg.advance(2_000)
+            lo, hi = agg.estimate(30.0, 50.0).interval
+            covered += lo <= true <= hi
+        assert covered >= 16
+
+    def test_run_until_reaches_target(self, relation):
+        agg = OnlineAggregator(relation, seed=4)
+        result = agg.run_until(30.0, 50.0, target_half_width=0.01, batch=500)
+        assert result.half_width <= 0.01
+
+    def test_run_until_rejects_bad_target(self, relation):
+        agg = OnlineAggregator(relation, seed=4)
+        with pytest.raises(InvalidQueryError):
+            agg.run_until(0.0, 1.0, target_half_width=0.0)
+
+    def test_rejects_bad_confidence(self, relation):
+        with pytest.raises(InvalidQueryError):
+            OnlineAggregator(relation, confidence=0.3)
+
+    def test_fraction_scanned(self, relation):
+        agg = OnlineAggregator(relation, seed=5)
+        agg.advance(5_000)
+        assert agg.estimate(0.0, 100.0).fraction_scanned == pytest.approx(0.1)
+
+
+class TestOnlineKernelSelectivity:
+    def test_requires_advance(self, relation):
+        online = OnlineKernelSelectivity(relation, seed=1)
+        with pytest.raises(InvalidQueryError):
+            online.selectivity(0.0, 50.0)
+
+    def test_bandwidth_shrinks_with_stream(self, relation):
+        online = OnlineKernelSelectivity(relation, seed=1, batch=500)
+        online.advance(1)
+        early = online.bandwidth
+        online.advance(30)
+        later = online.bandwidth
+        assert later < early
+
+    def test_kernel_beats_sampling_mid_stream(self, relation):
+        """The paper's §6 proposal: at the same scan position the
+        kernel answer is closer to the truth than the raw fraction."""
+        kernel_err = []
+        sampling_err = []
+        queries = [(20.0, 25.0), (35.0, 40.0), (50.0, 55.0), (60.0, 65.0)]
+        for seed in range(8):
+            online = OnlineKernelSelectivity(relation, seed=seed, batch=500)
+            online.advance(2)  # 1,000 records seen
+            agg = OnlineAggregator(relation, seed=seed)
+            agg.advance(1_000)
+            for a, b in queries:
+                true = relation.selectivity(a, b)
+                kernel_err.append(abs(online.selectivity(a, b) - true))
+                sampling_err.append(abs(agg.estimate(a, b).estimate - true))
+        assert np.mean(kernel_err) < np.mean(sampling_err)
+
+    def test_estimate_carries_sampling_interval(self, relation):
+        online = OnlineKernelSelectivity(relation, seed=2, batch=1_000)
+        online.advance(1)
+        result = online.estimate(30.0, 50.0)
+        assert result.records_seen == 1_000
+        assert result.half_width > 0

@@ -1,0 +1,116 @@
+"""Tests for workload oracles (repro.bandwidth.oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.bandwidth.oracle import (
+    SweepResult,
+    default_bandwidth_grid,
+    default_bin_grid,
+    oracle_bandwidth,
+    oracle_bin_count,
+    sweep,
+)
+from repro.core.base import InvalidQueryError
+from repro.core.histogram import EquiWidthHistogram
+from repro.core.kernel import KernelSelectivityEstimator
+from repro.data.domain import Interval
+from repro.data.relation import Relation
+from repro.workload.queries import generate_query_file
+
+
+@pytest.fixture()
+def setup():
+    rng = np.random.default_rng(5)
+    domain = Interval(0.0, 10.0)
+    data = np.clip(rng.normal(5.0, 1.5, 50_000), 0, 10)
+    relation = Relation(data, domain)
+    sample = relation.sample(1_000, seed=2)
+    queries = generate_query_file(relation, 0.02, n_queries=120, seed=3)
+    return domain, sample, queries
+
+
+class TestSweep:
+    def test_returns_minimum(self, setup):
+        domain, sample, queries = setup
+        result = oracle_bin_count(
+            lambda k: EquiWidthHistogram(sample, domain, k), queries, [2, 8, 32, 128, 512]
+        )
+        assert isinstance(result, SweepResult)
+        assert result.best_error == min(result.errors)
+        assert result.best in result.candidates
+
+    def test_oracle_beats_extremes(self, setup):
+        domain, sample, queries = setup
+        from repro.workload.metrics import mean_relative_error
+
+        result = oracle_bin_count(
+            lambda k: EquiWidthHistogram(sample, domain, k), queries
+        )
+        worst = mean_relative_error(EquiWidthHistogram(sample, domain, 1), queries)
+        assert result.best_error <= worst
+
+    def test_failing_candidates_skipped(self, setup):
+        domain, sample, queries = setup
+
+        def factory(h: float):
+            if h < 1.0:
+                raise ValueError("too small")
+            return KernelSelectivityEstimator(sample, h)
+
+        result = sweep(factory, [0.1, 0.5, 1.5, 2.0], queries)
+        assert set(result.candidates) == {1.5, 2.0}
+
+    def test_all_failing_raises(self, setup):
+        _, __, queries = setup
+
+        def factory(h: float):
+            raise ValueError("nope")
+
+        with pytest.raises(InvalidQueryError):
+            sweep(factory, [1.0, 2.0], queries)
+
+    def test_as_rows(self, setup):
+        domain, sample, queries = setup
+        result = oracle_bin_count(
+            lambda k: EquiWidthHistogram(sample, domain, k), queries, [4, 16]
+        )
+        rows = result.as_rows()
+        assert len(rows) == 2
+        assert rows[0][0] == 4.0
+
+
+class TestBandwidthOracle:
+    def test_refinement_does_not_regress(self, setup):
+        domain, sample, queries = setup
+
+        def factory(h: float):
+            return KernelSelectivityEstimator(sample, h, domain=domain)
+
+        coarse = sweep(factory, default_bandwidth_grid(0.5, span=10, points=8), queries)
+        refined = oracle_bandwidth(
+            factory, queries, default_bandwidth_grid(0.5, span=10, points=8), refine=2
+        )
+        assert refined.best_error <= coarse.best_error
+
+
+class TestGrids:
+    def test_bin_grid_bounds(self):
+        grid = default_bin_grid(500, points=12)
+        assert grid[0] == 1 and grid[-1] == 500
+        assert (np.diff(grid) > 0).all()
+
+    def test_bin_grid_rejects_bad_max(self):
+        with pytest.raises(InvalidQueryError):
+            default_bin_grid(0)
+
+    def test_bandwidth_grid_bounds(self):
+        grid = default_bandwidth_grid(1.0, span=10.0, points=5)
+        assert grid[0] == pytest.approx(0.1)
+        assert grid[-1] == pytest.approx(10.0)
+
+    def test_bandwidth_grid_rejects_bad_inputs(self):
+        with pytest.raises(InvalidQueryError):
+            default_bandwidth_grid(-1.0)
+        with pytest.raises(InvalidQueryError):
+            default_bandwidth_grid(1.0, span=0.5)

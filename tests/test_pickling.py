@@ -1,0 +1,81 @@
+"""Pickle round-trips for every estimator family.
+
+A database system builds statistics once at ANALYZE time and caches
+them in the catalog; that requires every estimator to serialize and
+answer identically after deserialization.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import estimators
+from repro.data.domain import IntegerDomain, Interval
+from repro.data.relation import Relation
+from repro.feedback import AdaptiveHistogram
+
+DOMAIN = Interval(0.0, 100.0)
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return np.random.default_rng(3).uniform(0.0, 100.0, 400)
+
+
+BUILDERS = {
+    "sampling": lambda s: estimators.sampling(s, DOMAIN),
+    "uniform": lambda s: estimators.uniform(DOMAIN),
+    "equi_width": lambda s: estimators.equi_width(s, DOMAIN, bins=9),
+    "equi_depth": lambda s: estimators.equi_depth(s, DOMAIN, bins=7),
+    "max_diff": lambda s: estimators.max_diff(s, DOMAIN, bins=7),
+    "ash": lambda s: estimators.ash(s, DOMAIN, bins=8, shifts=4),
+    "v_optimal": lambda s: estimators.v_optimal(s, DOMAIN, bins=6),
+    "wavelet": lambda s: estimators.wavelet(s, DOMAIN, coefficients=16),
+    "end_biased": lambda s: estimators.end_biased(s, DOMAIN, top=4),
+    "kernel_none": lambda s: estimators.kernel(s, None, bandwidth=5.0),
+    "kernel_reflection": lambda s: estimators.kernel(
+        s, DOMAIN, bandwidth=5.0, boundary="reflection"
+    ),
+    "kernel_boundary": lambda s: estimators.kernel(
+        s, DOMAIN, bandwidth=5.0, boundary="kernel"
+    ),
+    "hybrid": lambda s: estimators.hybrid(s, DOMAIN, max_changepoints=3),
+}
+
+QUERIES = [(0.0, 10.0), (25.5, 33.25), (0.0, 100.0), (95.0, 100.0), (50.0, 50.0)]
+
+
+@pytest.mark.parametrize("kind", sorted(BUILDERS))
+def test_estimator_pickle_roundtrip(kind, sample):
+    original = BUILDERS[kind](sample)
+    restored = pickle.loads(pickle.dumps(original))
+    for a, b in QUERIES:
+        assert restored.selectivity(a, b) == original.selectivity(a, b), (a, b)
+
+
+def test_adaptive_histogram_roundtrip():
+    est = AdaptiveHistogram(DOMAIN, bins=16)
+    est.observe(0.0, 50.0, 0.8)
+    restored = pickle.loads(pickle.dumps(est))
+    np.testing.assert_array_equal(restored.bin_masses, est.bin_masses)
+    # The restored estimator keeps learning.
+    restored.observe(50.0, 100.0, 0.1)
+    assert restored.sample_size == est.sample_size + 1
+
+
+def test_relation_roundtrip():
+    domain = IntegerDomain(8)
+    relation = Relation(np.array([1.0, 5.0, 9.0]), domain, name="pickled")
+    restored = pickle.loads(pickle.dumps(relation))
+    assert restored.count(0.0, 6.0) == 2
+    assert restored.name == "pickled"
+    assert isinstance(restored.domain, IntegerDomain)
+    assert restored.domain.p == 8
+
+
+def test_integer_domain_roundtrip():
+    domain = IntegerDomain(12)
+    restored = pickle.loads(pickle.dumps(domain))
+    assert restored.p == 12
+    assert restored.high == domain.high

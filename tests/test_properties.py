@@ -1,0 +1,185 @@
+"""Cross-estimator property-based tests (hypothesis).
+
+Invariants every selectivity estimator in the library must satisfy,
+checked over randomized samples and queries:
+
+* estimates live in ``[0, 1]``;
+* monotonicity: enlarging the range never lowers the estimate;
+* additivity: adjacent ranges sum to their union (up to clipping);
+* determinism: rebuilding from the same sample gives identical output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import estimators
+from repro.data.domain import Interval
+
+DOMAIN = Interval(0.0, 100.0)
+
+
+def _build(kind: str, sample: np.ndarray):
+    if kind == "sampling":
+        return estimators.sampling(sample, DOMAIN)
+    if kind == "uniform":
+        return estimators.uniform(DOMAIN)
+    if kind == "equi_width":
+        return estimators.equi_width(sample, DOMAIN, bins=7)
+    if kind == "equi_depth":
+        return estimators.equi_depth(sample, DOMAIN, bins=5)
+    if kind == "max_diff":
+        return estimators.max_diff(sample, DOMAIN, bins=5)
+    if kind == "ash":
+        return estimators.ash(sample, DOMAIN, bins=6, shifts=3)
+    if kind == "kernel-none":
+        return estimators.kernel(sample, None, bandwidth=4.0)
+    if kind == "kernel-reflection":
+        return estimators.kernel(sample, DOMAIN, bandwidth=4.0, boundary="reflection")
+    if kind == "kernel-boundary":
+        return estimators.kernel(sample, DOMAIN, bandwidth=4.0, boundary="kernel")
+    if kind == "hybrid":
+        return estimators.hybrid(sample, DOMAIN, max_changepoints=3)
+    if kind == "v_optimal":
+        return estimators.v_optimal(sample, DOMAIN, bins=5)
+    if kind == "wavelet":
+        return estimators.wavelet(sample, DOMAIN, coefficients=16)
+    if kind == "end_biased":
+        return estimators.end_biased(sample, DOMAIN, top=4)
+    if kind == "feedback":
+        from repro.feedback import AdaptiveHistogram
+
+        est = AdaptiveHistogram(DOMAIN, bins=8)
+        # Feed a couple of synthetic observations so the estimator is
+        # non-trivial; determinism must still hold.
+        est.observe(0.0, 50.0, float(np.mean(sample <= 50.0)))
+        est.observe(25.0, 75.0, float(np.mean((sample >= 25.0) & (sample <= 75.0))))
+        return est
+    raise AssertionError(kind)
+
+
+ALL_KINDS = (
+    "sampling",
+    "uniform",
+    "equi_width",
+    "equi_depth",
+    "max_diff",
+    "ash",
+    "kernel-none",
+    "kernel-reflection",
+    "kernel-boundary",
+    "hybrid",
+    "v_optimal",
+    "wavelet",
+    "end_biased",
+    "feedback",
+)
+
+samples = st.lists(
+    st.floats(0.0, 100.0, allow_nan=False), min_size=16, max_size=80
+).map(lambda xs: np.asarray(xs))
+
+points = st.floats(-10.0, 110.0, allow_nan=False)
+
+#: Estimators built on boundary kernels have *signed* densities
+#: (paper §3.2.1): extending a query across a negative-density sliver
+#: can lower the estimate slightly, so exact monotonicity cannot hold
+#: for them.  The slack bounds how negative those slivers may get.
+SIGNED_DENSITY_SLACK = {"kernel-boundary": 0.02, "hybrid": 0.02}
+
+
+def _slack(kind: str) -> float:
+    return SIGNED_DENSITY_SLACK.get(kind, 1e-9)
+
+
+@pytest.mark.parametrize("kind", ALL_KINDS)
+class TestEstimatorInvariants:
+    @given(sample=samples, x=points, width=st.floats(0.0, 120.0))
+    @settings(max_examples=25, deadline=None)
+    def test_in_unit_range(self, kind, sample, x, width):
+        est = _build(kind, sample)
+        value = est.selectivity(x, x + width)
+        assert 0.0 <= value <= 1.0
+
+    @given(sample=samples, x=points, w1=st.floats(0, 40), w2=st.floats(0, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_monotone_in_range(self, kind, sample, x, w1, w2):
+        est = _build(kind, sample)
+        small, big = sorted([w1, w2])
+        assert est.selectivity(x, x + small) <= est.selectivity(x, x + big) + _slack(kind)
+
+    @given(sample=samples, x=st.floats(0, 60), w1=st.floats(0.5, 20), w2=st.floats(0.5, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_additive_over_adjacent_ranges(self, kind, sample, x, w1, w2):
+        est = _build(kind, sample)
+        left = est.selectivity(x, x + w1)
+        right = est.selectivity(x + w1, x + w1 + w2)
+        union = est.selectivity(x, x + w1 + w2)
+        # Sub-additivity holds even when a point mass on the shared
+        # endpoint is counted in both halves (that only inflates the
+        # sum); monotonicity bounds the union from below (up to the
+        # signed-density slack for boundary-kernel estimators).
+        assert union <= left + right + _slack(kind)
+        assert union >= max(left, right) - _slack(kind)
+
+    @given(sample=samples)
+    @settings(max_examples=10, deadline=None)
+    def test_deterministic_rebuild(self, kind, sample):
+        a = _build(kind, sample)
+        b = _build(kind, sample)
+        queries = [(0.0, 10.0), (25.0, 30.0), (0.0, 100.0), (99.0, 100.0)]
+        for qa, qb in queries:
+            assert a.selectivity(qa, qb) == b.selectivity(qa, qb)
+
+    @given(sample=samples)
+    @settings(max_examples=10, deadline=None)
+    def test_batch_matches_scalar(self, kind, sample):
+        est = _build(kind, sample)
+        a = np.array([0.0, 10.0, 50.0, 90.0])
+        b = np.array([5.0, 30.0, 51.0, 100.0])
+        batch = est.selectivities(a, b)
+        singles = [est.selectivity(x, y) for x, y in zip(a, b)]
+        np.testing.assert_allclose(batch, singles, atol=1e-12)
+
+
+class TestDensityEstimatorInvariants:
+    # The hybrid is excluded from the non-negativity check: its per-bin
+    # boundary kernels are consistent-but-signed (paper §3.2.1).
+    NONNEGATIVE_KINDS = ("equi_width", "equi_depth", "ash", "kernel-none")
+    # Point-mass estimators (equi-depth on duplicate-heavy samples) are
+    # excluded from the grid integral: a Dirac mass has no density.
+    SMOOTH_KINDS = ("equi_width", "ash", "kernel-none", "hybrid")
+
+    @pytest.mark.parametrize("kind", NONNEGATIVE_KINDS)
+    @given(sample=samples)
+    @settings(max_examples=10, deadline=None)
+    def test_density_nonnegative(self, kind, sample):
+        est = _build(kind, sample)
+        grid = np.linspace(-5.0, 105.0, 111)
+        assert (est.density(grid) >= -1e-12).all()
+
+    @pytest.mark.parametrize("kind", SMOOTH_KINDS)
+    @given(sample=samples)
+    @settings(max_examples=8, deadline=None)
+    def test_density_integrates_to_at_most_one(self, kind, sample):
+        est = _build(kind, sample)
+        grid = np.linspace(-20.0, 120.0, 8_001)
+        mass = np.trapezoid(est.density(grid), grid)
+        # Slightly above 1 is legitimate: boundary-kernel estimators
+        # are consistent but not densities (paper §3.2.1), and the
+        # grid integral carries discretization error.
+        assert mass <= 1.08
+
+    @given(sample=samples)
+    @settings(max_examples=10, deadline=None)
+    def test_hybrid_negative_dips_are_small(self, sample):
+        """Boundary kernels may dip negative, but never by more than a
+        fraction of the estimator's peak density."""
+        est = _build("hybrid", sample)
+        grid = np.linspace(0.0, 100.0, 501)
+        density = est.density(grid)
+        if density.max() > 0:
+            assert density.min() >= -0.6 * density.max()

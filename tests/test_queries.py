@@ -1,0 +1,179 @@
+"""Tests for query files (repro.workload.queries)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidQueryError
+from repro.data.domain import IntegerDomain, Interval
+from repro.data.relation import Relation
+from repro.workload.queries import (
+    QueryFile,
+    RangeQuery,
+    generate_query_file,
+    position_sweep,
+)
+
+
+@pytest.fixture()
+def relation():
+    rng = np.random.default_rng(3)
+    domain = IntegerDomain(12)
+    values = domain.snap(rng.uniform(domain.low, domain.high, 20_000))
+    return Relation(values, domain, name="uniform-test")
+
+
+class TestRangeQuery:
+    def test_width_and_center(self):
+        query = RangeQuery(2.0, 6.0)
+        assert query.width == 4.0
+        assert query.center == 4.0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuery(5.0, 1.0)
+
+    def test_point_query_allowed(self):
+        assert RangeQuery(3.0, 3.0).width == 0.0
+
+
+class TestQueryFile:
+    def test_requires_parallel_arrays(self):
+        with pytest.raises(InvalidQueryError):
+            QueryFile(np.array([0.0]), np.array([1.0, 2.0]), np.array([1]), 10)
+
+    def test_requires_nonempty(self):
+        with pytest.raises(InvalidQueryError):
+            QueryFile(np.array([]), np.array([]), np.array([]), 10)
+
+    def test_rejects_inverted_ranges(self):
+        with pytest.raises(InvalidQueryError):
+            QueryFile(np.array([2.0]), np.array([1.0]), np.array([0]), 10)
+
+    def test_arrays_readonly(self):
+        qf = QueryFile(np.array([0.0]), np.array([1.0]), np.array([5]), 10)
+        with pytest.raises(ValueError):
+            qf.a[0] = 9.0
+
+    def test_iteration_yields_queries(self):
+        qf = QueryFile(np.array([0.0, 1.0]), np.array([1.0, 2.0]), np.array([1, 2]), 10)
+        queries = list(qf)
+        assert queries[0] == RangeQuery(0.0, 1.0)
+        assert len(qf) == 2
+
+
+class TestGenerateQueryFile:
+    def test_fixed_size(self, relation):
+        qf = generate_query_file(relation, 0.05, n_queries=50, seed=1)
+        widths = qf.b - qf.a
+        assert np.allclose(widths, widths[0])
+        assert widths[0] == pytest.approx(0.05 * relation.domain.width, rel=0.01)
+
+    def test_inside_domain(self, relation):
+        qf = generate_query_file(relation, 0.10, n_queries=100, seed=1)
+        assert qf.a.min() >= relation.domain.low
+        assert qf.b.max() <= relation.domain.high
+
+    def test_true_counts_exact(self, relation):
+        qf = generate_query_file(relation, 0.02, n_queries=30, seed=2)
+        for i in range(len(qf)):
+            assert qf.true_counts[i] == relation.count(qf.a[i], qf.b[i])
+
+    def test_grid_alignment_on_integer_domain(self, relation):
+        qf = generate_query_file(relation, 0.01, n_queries=40, seed=3)
+        # Endpoints on half-integers: whole grid cells are covered.
+        frac_a = np.mod(qf.a, 1.0)
+        assert np.allclose(frac_a, 0.5)
+
+    def test_alignment_can_be_disabled(self, relation):
+        qf = generate_query_file(relation, 0.01, n_queries=40, seed=3, align_to_grid=False)
+        frac_a = np.mod(qf.a, 1.0)
+        assert not np.allclose(frac_a, 0.5)
+
+    def test_no_alignment_on_real_domain(self):
+        rng = np.random.default_rng(0)
+        domain = Interval(0.0, 1.0)
+        relation = Relation(rng.uniform(0, 1, 5_000), domain)
+        qf = generate_query_file(relation, 0.01, n_queries=20, seed=1)
+        assert not np.allclose(np.mod(qf.a, 1.0), 0.5)
+
+    def test_positions_follow_data(self):
+        """Queries must concentrate where the records are."""
+        rng = np.random.default_rng(1)
+        domain = IntegerDomain(12)
+        left_heavy = domain.snap(rng.uniform(0, domain.width / 4, 20_000))
+        relation = Relation(left_heavy, domain)
+        qf = generate_query_file(relation, 0.01, n_queries=100, seed=4)
+        centers = 0.5 * (qf.a + qf.b)
+        assert np.mean(centers < domain.width / 4) > 0.9
+
+    def test_rejects_bad_fraction(self, relation):
+        with pytest.raises(InvalidQueryError):
+            generate_query_file(relation, 1.5)
+
+    def test_rejects_bad_count(self, relation):
+        with pytest.raises(InvalidQueryError):
+            generate_query_file(relation, 0.01, n_queries=0)
+
+    def test_deterministic_under_seed(self, relation):
+        qf1 = generate_query_file(relation, 0.01, n_queries=20, seed=7)
+        qf2 = generate_query_file(relation, 0.01, n_queries=20, seed=7)
+        np.testing.assert_array_equal(qf1.a, qf2.a)
+
+
+class TestGridAlignmentEdgeCases:
+    def test_even_width_near_domain_top_stays_inside(self):
+        """Even cell counts put b at x.5 + width; the topmost centers
+        would push b half a cell past the domain — the shift clamp
+        must bring the query back inside."""
+        rng = np.random.default_rng(0)
+        domain = IntegerDomain(12)
+        # All records at the very top of the domain.
+        values = np.full(5_000, domain.high - 50.0)
+        relation = Relation(domain.snap(values), domain)
+        # 2% of 4095 rounds to 82 cells (even).
+        qf = generate_query_file(relation, 0.02, n_queries=30, seed=1)
+        assert qf.b.max() <= domain.high
+        assert qf.a.min() >= domain.low
+        widths = qf.b - qf.a
+        assert np.allclose(widths, round(0.02 * domain.width))
+
+    def test_single_cell_queries(self):
+        """Tiny fractions round up to one whole cell, never zero."""
+        rng = np.random.default_rng(1)
+        domain = IntegerDomain(6)  # 64 values; 1% of 63 < 1 cell
+        relation = Relation(
+            domain.snap(rng.uniform(domain.low, domain.high, 2_000)), domain
+        )
+        qf = generate_query_file(relation, 0.01, n_queries=20, seed=2)
+        np.testing.assert_allclose(qf.b - qf.a, 1.0)
+
+    def test_true_counts_are_whole_cell_counts(self):
+        """An aligned query covering w cells counts exactly the records
+        on those w grid values."""
+        rng = np.random.default_rng(3)
+        domain = IntegerDomain(8)
+        relation = Relation(
+            domain.snap(rng.uniform(domain.low, domain.high, 10_000)), domain
+        )
+        qf = generate_query_file(relation, 0.05, n_queries=25, seed=4)
+        for i in range(len(qf)):
+            covered = np.arange(np.ceil(qf.a[i]), np.floor(qf.b[i]) + 1)
+            expected = sum(relation.count(v, v) for v in covered)
+            assert qf.true_counts[i] == expected
+
+
+class TestPositionSweep:
+    def test_covers_domain(self, relation):
+        qf = position_sweep(relation, 0.01, n_positions=50)
+        assert qf.a[0] == pytest.approx(relation.domain.low)
+        assert qf.b[-1] == pytest.approx(relation.domain.high)
+
+    def test_centers_evenly_spaced(self, relation):
+        qf = position_sweep(relation, 0.01, n_positions=10)
+        centers = 0.5 * (qf.a + qf.b)
+        steps = np.diff(centers)
+        assert np.allclose(steps, steps[0])
+
+    def test_rejects_too_few_positions(self, relation):
+        with pytest.raises(InvalidQueryError):
+            position_sweep(relation, 0.01, n_positions=1)

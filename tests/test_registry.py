@@ -1,0 +1,75 @@
+"""Tests for the dataset registry (repro.data.registry)."""
+
+import pytest
+
+from repro.data import registry
+
+
+class TestSpecLookup:
+    def test_all_paper_names_present(self):
+        names = registry.dataset_names()
+        for expected in (
+            "u(15)", "u(20)", "n(10)", "n(15)", "n(20)", "e(15)", "e(20)",
+            "arap1", "arap2", "rr1(12)", "rr1(22)", "rr2(12)", "rr2(22)", "iw",
+        ):
+            assert expected in names
+
+    def test_ci_is_an_alias_for_iw(self):
+        assert registry.spec("ci").name == "iw"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            registry.spec("n(99)")
+
+    def test_malformed_name_raises(self):
+        with pytest.raises(KeyError):
+            registry.spec("DROP TABLE")
+
+    def test_spec_fields_match_table2(self):
+        spec = registry.spec("arap1")
+        assert spec.p == 21
+        assert spec.n_records == 52_120
+        spec = registry.spec("iw")
+        assert spec.p == 21
+        assert spec.n_records == 199_523
+        spec = registry.spec("rr1(12)")
+        assert spec.n_records == 257_942
+
+
+class TestLoad:
+    @pytest.mark.parametrize("name", ["u(15)", "n(10)", "e(15)", "rr1(12)"])
+    def test_load_matches_spec(self, name):
+        relation = registry.load(name)
+        spec = registry.spec(name)
+        assert relation.size == spec.n_records
+        assert relation.domain.high == 2**spec.p - 1
+        assert relation.name == spec.name
+
+    def test_load_is_cached(self):
+        assert registry.load("u(15)") is registry.load("u(15)")
+
+    def test_different_seeds_differ(self):
+        a = registry.load("u(15)", seed=0)
+        b = registry.load("u(15)", seed=1)
+        assert not (a.values == b.values).all()
+
+    def test_alias_load(self):
+        assert registry.load("ci") is registry.load("iw")
+
+
+class TestTable2:
+    def test_rows_cover_all_datasets(self):
+        rows = registry.table2()
+        assert len(rows) == len(registry.dataset_names())
+
+    def test_measured_counts_match_declared(self):
+        for row in registry.table2():
+            assert row["measured #records"] == row["#records"]
+
+    def test_small_domains_have_more_duplicates(self):
+        """The paper's §5.2.1 premise: small domains mean duplicates."""
+        rows = {row["data file"]: row for row in registry.table2()}
+        density_small = rows["n(10)"]["#distinct"] / 2**10
+        assert rows["n(10)"]["#distinct"] < rows["n(15)"]["#distinct"]
+        assert rows["n(15)"]["#distinct"] < rows["n(20)"]["#distinct"]
+        assert density_small > 0.5  # nearly every small-domain value occurs

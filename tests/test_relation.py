@@ -1,0 +1,106 @@
+"""Tests for the relation abstraction (repro.data.relation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import InvalidQueryError, InvalidSampleError
+from repro.data.domain import Interval
+from repro.data.relation import Relation
+
+
+@pytest.fixture()
+def relation():
+    values = np.array([1.0, 3.0, 3.0, 5.0, 8.0, 9.0])
+    return Relation(values, Interval(0.0, 10.0), name="tiny")
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidSampleError):
+            Relation(np.array([]), Interval(0, 1))
+
+    def test_rejects_2d(self):
+        with pytest.raises(InvalidSampleError):
+            Relation(np.zeros((2, 2)), Interval(0, 1))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidSampleError):
+            Relation(np.array([0.5, np.nan]), Interval(0, 1))
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(InvalidSampleError):
+            Relation(np.array([0.5, 2.0]), Interval(0, 1))
+
+    def test_values_are_sorted_and_readonly(self, relation):
+        assert list(relation.values) == sorted(relation.values)
+        with pytest.raises(ValueError):
+            relation.values[0] = 99.0
+
+
+class TestCounting:
+    def test_count_closed_range(self, relation):
+        assert relation.count(3.0, 8.0) == 4  # 3, 3, 5, 8
+
+    def test_count_point_query(self, relation):
+        assert relation.count(3.0, 3.0) == 2
+
+    def test_count_empty_range_value(self, relation):
+        assert relation.count(6.0, 7.0) == 0
+
+    def test_count_whole_domain(self, relation):
+        assert relation.count(0.0, 10.0) == relation.size
+
+    def test_count_rejects_inverted_range(self, relation):
+        with pytest.raises(InvalidQueryError):
+            relation.count(5.0, 1.0)
+
+    def test_selectivity(self, relation):
+        assert relation.selectivity(3.0, 8.0) == pytest.approx(4 / 6)
+
+    @given(st.floats(0, 10), st.floats(0, 10))
+    @settings(max_examples=50)
+    def test_count_matches_bruteforce(self, x, y):
+        values = np.array([1.0, 3.0, 3.0, 5.0, 8.0, 9.0])
+        relation = Relation(values, Interval(0.0, 10.0))
+        a, b = min(x, y), max(x, y)
+        expected = int(np.sum((values >= a) & (values <= b)))
+        assert relation.count(a, b) == expected
+
+
+class TestSampling:
+    def test_sample_size_and_membership(self, relation):
+        sample = relation.sample(4, seed=1)
+        assert sample.shape == (4,)
+        assert all(v in relation.values for v in sample)
+
+    def test_sample_without_replacement_is_exhaustive(self, relation):
+        sample = relation.sample(relation.size, seed=1)
+        assert sorted(sample) == list(relation.values)
+
+    def test_sample_rejects_oversize(self, relation):
+        with pytest.raises(InvalidQueryError):
+            relation.sample(relation.size + 1)
+
+    def test_sample_rejects_nonpositive(self, relation):
+        with pytest.raises(InvalidQueryError):
+            relation.sample(0)
+
+    def test_sample_deterministic_under_seed(self, relation):
+        a = relation.sample(3, seed=42)
+        b = relation.sample(3, seed=42)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_accepts_generator(self, relation):
+        sample = relation.sample(2, seed=np.random.default_rng(0))
+        assert sample.shape == (2,)
+
+
+class TestStatistics:
+    def test_distinct_count(self, relation):
+        assert relation.distinct_count() == 5
+
+    def test_quantile(self, relation):
+        assert relation.quantile(0.0) == 1.0
+        assert relation.quantile(1.0) == 9.0

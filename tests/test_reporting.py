@@ -1,0 +1,60 @@
+"""Tests for experiment reporting (repro.experiments.reporting)."""
+
+import pytest
+
+from repro.experiments.reporting import FigureResult, make_result
+
+
+@pytest.fixture()
+def result():
+    return make_result(
+        "fig-0",
+        "A test figure",
+        [
+            {"dataset": "a", "MRE": 0.123},
+            {"dataset": "b", "MRE": 0.045},
+        ],
+        notes="hello",
+    )
+
+
+class TestFigureResult:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            make_result("fig-0", "empty", [])
+
+    def test_rejects_inconsistent_columns(self):
+        with pytest.raises(ValueError):
+            make_result("fig-0", "bad", [{"a": 1}, {"b": 2}])
+
+    def test_columns(self, result):
+        assert result.columns == ["dataset", "MRE"]
+
+    def test_column_access(self, result):
+        assert result.column("dataset") == ["a", "b"]
+
+    def test_unknown_column_raises(self, result):
+        with pytest.raises(KeyError):
+            result.column("nope")
+
+    def test_render_contains_all_cells(self, result):
+        text = result.render()
+        assert "fig-0" in text
+        assert "12.30%" in text  # float rendered as percent
+        assert "4.50%" in text
+        assert "note: hello" in text
+
+    def test_render_aligns_header(self, result):
+        lines = result.render().splitlines()
+        header, rule = lines[1], lines[2]
+        assert len(rule) == len(header)
+
+    def test_large_floats_not_percent(self):
+        res = make_result("fig-0", "t", [{"x": 123.456}])
+        assert "123.5" in res.render()
+
+    def test_csv_roundtrip(self, result):
+        csv = result.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "dataset,MRE"
+        assert lines[1] == "a,0.123"

@@ -1,0 +1,84 @@
+"""Tests for sample-size planning (repro.bandwidth.sample_size)."""
+
+import numpy as np
+import pytest
+
+from repro.bandwidth.amise import normal_roughness
+from repro.bandwidth.sample_size import (
+    histogram_optimal_amise,
+    histogram_sample_size,
+    kernel_optimal_amise,
+    kernel_sample_size,
+    sampling_sample_size,
+)
+from repro.core.base import InvalidSampleError
+
+
+class TestOptimalAmise:
+    def test_power_laws_exact(self):
+        """The inverted laws rest on AMISE* being an exact power of n."""
+        r1 = normal_roughness(1)
+        r2 = normal_roughness(2)
+        for n in (500, 2_000, 8_000):
+            hist_ratio = histogram_optimal_amise(n, r1) / histogram_optimal_amise(4 * n, r1)
+            kern_ratio = kernel_optimal_amise(n, r2) / kernel_optimal_amise(4 * n, r2)
+            assert hist_ratio == pytest.approx(4 ** (2 / 3), rel=1e-9)
+            assert kern_ratio == pytest.approx(4 ** (4 / 5), rel=1e-9)
+
+
+class TestInversion:
+    def test_histogram_roundtrip(self):
+        r1 = normal_roughness(1)
+        target = histogram_optimal_amise(3_000, r1)
+        n = histogram_sample_size(target, r1)
+        assert n == pytest.approx(3_000, abs=2)
+
+    def test_kernel_roundtrip(self):
+        r2 = normal_roughness(2)
+        target = kernel_optimal_amise(3_000, r2)
+        n = kernel_sample_size(target, r2)
+        assert n == pytest.approx(3_000, abs=2)
+
+    def test_kernel_needs_fewer_samples_for_same_target(self):
+        """The convergence-rate advantage in planning terms: for the
+        same AMISE target the kernel needs a smaller sample."""
+        r1 = normal_roughness(1)
+        r2 = normal_roughness(2)
+        target = histogram_optimal_amise(5_000, r1)
+        assert kernel_sample_size(target, r2) < histogram_sample_size(target, r1)
+
+    def test_tighter_target_more_samples(self):
+        r2 = normal_roughness(2)
+        assert kernel_sample_size(1e-4, r2) > kernel_sample_size(1e-3, r2)
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(InvalidSampleError):
+            kernel_sample_size(0.0, 1.0)
+
+
+class TestSamplingSampleSize:
+    def test_binomial_bound(self):
+        # sigma = 0.5, target se = 0.01 -> n = 0.25 / 1e-4 = 2,500.
+        assert sampling_sample_size(0.5, 0.01) == 2_500
+
+    def test_degenerate_selectivity(self):
+        assert sampling_sample_size(0.0, 0.01) == 1
+        assert sampling_sample_size(1.0, 0.01) == 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(InvalidSampleError):
+            sampling_sample_size(1.5, 0.01)
+        with pytest.raises(InvalidSampleError):
+            sampling_sample_size(0.5, 0.0)
+
+    def test_empirically_calibrated(self):
+        """The planned n really achieves the target standard error."""
+        rng = np.random.default_rng(0)
+        sigma_true = 0.2
+        target = 0.02
+        n = sampling_sample_size(sigma_true, target)
+        estimates = [
+            np.mean(rng.uniform(0, 1, n) < sigma_true) for _ in range(400)
+        ]
+        observed_se = float(np.std(estimates))
+        assert observed_se == pytest.approx(target, rel=0.2)

@@ -1,0 +1,76 @@
+"""Tests for pure sampling (repro.core.sampling)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.base import InvalidSampleError
+from repro.core.sampling import SamplingEstimator
+from repro.data.domain import Interval
+
+
+class TestSelectivity:
+    def test_exact_fraction(self):
+        est = SamplingEstimator(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert est.selectivity(2.0, 3.0) == pytest.approx(0.5)
+
+    def test_closed_range_includes_endpoints(self):
+        est = SamplingEstimator(np.array([1.0, 2.0, 3.0]))
+        assert est.selectivity(1.0, 1.0) == pytest.approx(1 / 3)
+
+    def test_empty_range_zero(self):
+        est = SamplingEstimator(np.array([1.0, 2.0]))
+        assert est.selectivity(5.0, 6.0) == 0.0
+
+    def test_whole_range_one(self):
+        est = SamplingEstimator(np.array([1.0, 2.0]))
+        assert est.selectivity(0.0, 10.0) == 1.0
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        sample = rng.uniform(0, 1, 200)
+        est = SamplingEstimator(sample)
+        a = rng.uniform(0, 0.5, 20)
+        b = a + 0.3
+        batch = est.selectivities(a, b)
+        singles = [est.selectivity(x, y) for x, y in zip(a, b)]
+        np.testing.assert_allclose(batch, singles)
+
+    def test_domain_validation(self):
+        with pytest.raises(InvalidSampleError):
+            SamplingEstimator(np.array([2.0]), Interval(0.0, 1.0))
+
+    def test_sample_size(self):
+        assert SamplingEstimator(np.arange(1, 8, dtype=float)).sample_size == 7
+
+    @given(
+        st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=60),
+        st.floats(0, 100),
+        st.floats(0, 100),
+    )
+    @settings(max_examples=60)
+    def test_matches_bruteforce(self, values, x, y):
+        a, b = min(x, y), max(x, y)
+        arr = np.array(values)
+        est = SamplingEstimator(arr)
+        expected = np.mean((arr >= a) & (arr <= b))
+        assert est.selectivity(a, b) == pytest.approx(expected)
+
+
+class TestStandardError:
+    def test_rate_is_inverse_sqrt_n(self):
+        small = SamplingEstimator(np.arange(100, dtype=float))
+        large = SamplingEstimator(np.arange(10_000, dtype=float))
+        ratio = small.standard_error(0.5) / large.standard_error(0.5)
+        assert ratio == pytest.approx(10.0)
+
+    def test_zero_at_degenerate_selectivity(self):
+        est = SamplingEstimator(np.arange(10, dtype=float))
+        assert est.standard_error(0.0) == 0.0
+        assert est.standard_error(1.0) == 0.0
+
+    def test_rejects_out_of_range(self):
+        est = SamplingEstimator(np.arange(10, dtype=float))
+        with pytest.raises(ValueError):
+            est.standard_error(1.5)

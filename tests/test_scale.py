@@ -1,0 +1,62 @@
+"""Tests for robust scale estimation (repro.bandwidth.scale)."""
+
+import numpy as np
+import pytest
+
+from repro.bandwidth.scale import (
+    GAUSS_TO_EPANECHNIKOV,
+    iqr,
+    robust_scale,
+    to_gaussian_bandwidth,
+)
+from repro.core.base import InvalidSampleError
+
+
+class TestIqr:
+    def test_uniform_grid(self):
+        assert iqr(np.arange(101, dtype=float)) == pytest.approx(50.0)
+
+    def test_normal_sample_near_1348_sigma(self):
+        sample = np.random.default_rng(0).normal(0, 1, 50_000)
+        assert iqr(sample) == pytest.approx(1.348, abs=0.03)
+
+
+class TestRobustScale:
+    def test_takes_the_minimum(self):
+        """Outliers inflate the sd but not the IQR: robust scale must
+        follow the IQR."""
+        rng = np.random.default_rng(1)
+        sample = np.concatenate([rng.normal(0, 1, 1_000), [1e5, -1e5]])
+        s = robust_scale(sample)
+        assert s < 2.0  # plain sd would be ~3000
+
+    def test_normal_sample_near_sigma(self):
+        sample = np.random.default_rng(2).normal(0, 2.5, 20_000)
+        assert robust_scale(sample) == pytest.approx(2.5, rel=0.05)
+
+    def test_zero_iqr_falls_back_to_sd(self):
+        """More than half the mass on one value zeroes the IQR; the
+        standard deviation must take over (duplicate-heavy data)."""
+        sample = np.concatenate([np.full(80, 5.0), np.linspace(0, 10, 20)])
+        assert robust_scale(sample) > 0
+
+    def test_all_identical_raises(self):
+        with pytest.raises(InvalidSampleError):
+            robust_scale(np.full(50, 3.0))
+
+    def test_single_value_raises(self):
+        with pytest.raises(InvalidSampleError):
+            robust_scale(np.array([1.0]))
+
+
+class TestCanonicalConversion:
+    def test_ratio_value(self):
+        """delta_gauss / delta_epan = (R_g / k2_g^2 / 15)^(1/5) ~ 0.4517."""
+        assert GAUSS_TO_EPANECHNIKOV == pytest.approx(0.4517, abs=0.001)
+
+    def test_conversion(self):
+        assert to_gaussian_bandwidth(1.0) == pytest.approx(GAUSS_TO_EPANECHNIKOV)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(InvalidSampleError):
+            to_gaussian_bandwidth(0.0)

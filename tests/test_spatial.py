@@ -1,0 +1,103 @@
+"""Tests for the simulated TIGER/Line generators (repro.data.spatial)."""
+
+import numpy as np
+import pytest
+
+from repro.data import spatial
+from repro.data.domain import IntegerDomain
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestComponents:
+    def test_uniform_block_stays_in_range(self, rng):
+        block = spatial.UniformBlock(0.2, 0.4, 1.0)
+        domain = IntegerDomain(12)
+        values = block.draw(5_000, domain, rng)
+        assert values.min() >= 0.2 * domain.width
+        assert values.max() <= 0.4 * domain.width
+
+    def test_gauss_cluster_truncated_to_domain(self, rng):
+        cluster = spatial.GaussCluster(0.01, 0.2, 1.0)
+        domain = IntegerDomain(10)
+        values = cluster.draw(5_000, domain, rng)
+        assert values.min() >= domain.low
+        assert values.max() <= domain.high
+
+    def test_grid_spikes_land_on_lines(self, rng):
+        spikes = spatial.GridSpikes(0.1, 0.9, 11, 1.0)
+        domain = IntegerDomain(16)
+        values = spikes.draw(2_000, domain, rng)
+        assert np.unique(values).size <= 11
+
+    def test_narrow_band_width(self, rng):
+        band = spatial.NarrowBand(0.5, 0.02, 1.0)
+        domain = IntegerDomain(16)
+        values = band.draw(5_000, domain, rng)
+        assert values.max() - values.min() <= 0.021 * domain.width
+
+
+class TestRenderMixture:
+    def test_weights_must_sum_to_one(self, rng):
+        bad = (spatial.UniformBlock(0.0, 1.0, 0.5),)
+        with pytest.raises(ValueError):
+            spatial.render_mixture(bad, 10, 100, rng)
+
+    def test_rejects_empty_mixture(self, rng):
+        with pytest.raises(ValueError):
+            spatial.render_mixture((), 10, 100, rng)
+
+    def test_rejects_negative_weight(self, rng):
+        bad = (
+            spatial.UniformBlock(0.0, 1.0, 1.5),
+            spatial.UniformBlock(0.0, 1.0, -0.5),
+        )
+        with pytest.raises(ValueError):
+            spatial.render_mixture(bad, 10, 100, rng)
+
+    def test_output_snapped_to_grid(self, rng):
+        mixture = (spatial.UniformBlock(0.0, 1.0, 1.0),)
+        values = spatial.render_mixture(mixture, 10, 1_000, rng)
+        np.testing.assert_array_equal(values, np.rint(values))
+        assert values.min() >= 0 and values.max() <= 1023
+
+
+class TestPaperFiles:
+    @pytest.mark.parametrize("dimension", [1, 2])
+    def test_arapahoe_shapes(self, dimension, rng):
+        values = spatial.arapahoe(dimension, 18, 10_000, rng)
+        assert values.shape == (10_000,)
+        domain = IntegerDomain(18)
+        assert values.min() >= domain.low and values.max() <= domain.high
+
+    def test_arapahoe_rejects_bad_dimension(self, rng):
+        with pytest.raises(ValueError):
+            spatial.arapahoe(3, 18, 100, rng)
+
+    @pytest.mark.parametrize("dimension", [1, 2])
+    def test_railroads_shapes(self, dimension, rng):
+        values = spatial.railroads_rivers(dimension, 12, 10_000, rng)
+        assert values.shape == (10_000,)
+
+    def test_railroads_rejects_bad_dimension(self, rng):
+        with pytest.raises(ValueError):
+            spatial.railroads_rivers(0, 12, 100, rng)
+
+    def test_arapahoe_has_heavy_duplicates(self, rng):
+        """Street-grid spikes must produce repeated coordinates even on
+        a large domain — the TIGER signature the paper relies on."""
+        values = spatial.arapahoe(1, 21, 50_000, rng)
+        _, counts = np.unique(values, return_counts=True)
+        assert counts.max() > 100
+
+    def test_railroads_density_is_non_smooth(self, rng):
+        """Narrow corridors concentrate mass: a few percent of the
+        domain must hold a large share of the records."""
+        values = spatial.railroads_rivers(1, 22, 50_000, rng)
+        domain = IntegerDomain(22)
+        counts, _ = np.histogram(values, bins=100, range=(domain.low, domain.high))
+        top5 = np.sort(counts)[-5:].sum()
+        assert top5 > 0.25 * 50_000

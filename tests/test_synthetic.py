@@ -1,0 +1,98 @@
+"""Tests for the synthetic data generators (repro.data.synthetic)."""
+
+import numpy as np
+import pytest
+
+from repro.data import synthetic
+from repro.data.domain import IntegerDomain
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestUniform:
+    def test_record_count_and_bounds(self, rng):
+        values = synthetic.uniform(12, 5_000, rng)
+        domain = IntegerDomain(12)
+        assert values.shape == (5_000,)
+        assert values.min() >= domain.low
+        assert values.max() <= domain.high
+
+    def test_values_are_integers(self, rng):
+        values = synthetic.uniform(12, 1_000, rng)
+        np.testing.assert_array_equal(values, np.rint(values))
+
+    def test_roughly_flat(self, rng):
+        values = synthetic.uniform(10, 50_000, rng)
+        counts, _ = np.histogram(values, bins=8, range=(0, 1023))
+        # Each octile should hold ~1/8 of the mass.
+        assert counts.min() > 0.8 * 50_000 / 8
+        assert counts.max() < 1.2 * 50_000 / 8
+
+    def test_deterministic_under_seed(self):
+        a = synthetic.uniform(12, 100, np.random.default_rng(3))
+        b = synthetic.uniform(12, 100, np.random.default_rng(3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestNormal:
+    def test_centered_on_domain(self, rng):
+        values = synthetic.normal(20, 20_000, rng)
+        domain = IntegerDomain(20)
+        assert abs(values.mean() - domain.center) < 0.01 * domain.width
+
+    def test_all_inside_domain(self, rng):
+        values = synthetic.normal(20, 10_000, rng)
+        domain = IntegerDomain(20)
+        assert values.min() >= domain.low
+        assert values.max() <= domain.high
+
+    def test_small_domain_is_truncated_center_slice(self, rng):
+        """On p=10 the absolute sigma dwarfs the domain, so the kept
+        records are nearly uniform (the paper's Fig. 5 regime)."""
+        values = synthetic.normal(10, 30_000, rng)
+        counts, _ = np.histogram(values, bins=8, range=(0, 1023))
+        assert counts.min() > 0.85 * 30_000 / 8
+        assert counts.max() < 1.15 * 30_000 / 8
+
+    def test_large_domain_is_bell_shaped(self, rng):
+        values = synthetic.normal(20, 30_000, rng)
+        domain = IntegerDomain(20)
+        center_mass = np.mean(np.abs(values - domain.center) < domain.width / 8)
+        # Within one sigma of the center: ~68% for the full bell.
+        assert 0.6 < center_mass < 0.75
+
+    def test_duplicates_on_small_domain(self, rng):
+        values = synthetic.normal(10, 100_000, rng)
+        assert np.unique(values).size <= 1024
+
+    def test_rejects_bad_sigma(self, rng):
+        with pytest.raises(ValueError):
+            synthetic.normal(10, 100, rng, sigma_fraction=0.0)
+
+
+class TestExponential:
+    def test_left_skew(self, rng):
+        values = synthetic.exponential(20, 20_000, rng)
+        domain = IntegerDomain(20)
+        # Far more mass in the left half than the right half.
+        left = np.mean(values < domain.center)
+        assert left > 0.9
+
+    def test_all_inside_domain(self, rng):
+        values = synthetic.exponential(15, 10_000, rng)
+        domain = IntegerDomain(15)
+        assert values.min() >= domain.low
+        assert values.max() <= domain.high
+
+    def test_monotone_decreasing_density(self, rng):
+        values = synthetic.exponential(20, 50_000, rng)
+        counts, _ = np.histogram(values, bins=6, range=(0, 2**20 - 1))
+        # Exponential density decays: each bin lighter than the previous.
+        assert all(counts[i] >= counts[i + 1] for i in range(5))
+
+    def test_rejects_bad_scale(self, rng):
+        with pytest.raises(ValueError):
+            synthetic.exponential(10, 100, rng, scale_fraction=-1.0)

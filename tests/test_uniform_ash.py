@@ -1,0 +1,86 @@
+"""Tests for the uniform estimator and the average shifted histogram."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidSampleError
+from repro.core.histogram import AverageShiftedHistogram, EquiWidthHistogram, UniformEstimator
+from repro.data.domain import Interval
+
+
+class TestUniformEstimator:
+    def test_covered_fraction(self):
+        est = UniformEstimator(Interval(0.0, 10.0))
+        assert est.selectivity(0.0, 5.0) == pytest.approx(0.5)
+
+    def test_clips_to_domain(self):
+        est = UniformEstimator(Interval(0.0, 10.0))
+        assert est.selectivity(-5.0, 15.0) == pytest.approx(1.0)
+
+    def test_outside_domain_zero(self):
+        est = UniformEstimator(Interval(0.0, 10.0))
+        assert est.selectivity(11.0, 12.0) == 0.0
+
+    def test_uses_no_sample(self):
+        assert UniformEstimator(Interval(0, 1)).sample_size == 0
+
+    def test_exact_on_uniform_data(self):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(0, 10, 100_000)
+        est = UniformEstimator(Interval(0.0, 10.0))
+        true = np.mean((data >= 2.0) & (data <= 4.5))
+        assert est.selectivity(2.0, 4.5) == pytest.approx(true, abs=0.01)
+
+
+class TestAverageShiftedHistogram:
+    @pytest.fixture()
+    def domain(self):
+        return Interval(0.0, 10.0)
+
+    @pytest.fixture()
+    def sample(self):
+        return np.random.default_rng(1).normal(5.0, 1.5, 800).clip(0, 10)
+
+    def test_mass_conserved(self, sample, domain):
+        ash = AverageShiftedHistogram(sample, domain, bins=12, shifts=10)
+        assert ash.selectivity(domain.low - 1.0, domain.high + 1.0) == pytest.approx(1.0)
+
+    def test_single_shift_equals_equi_width(self, sample, domain):
+        ash = AverageShiftedHistogram(sample, domain, bins=9, shifts=1)
+        ewh = EquiWidthHistogram(sample, domain, 9)
+        for a, b in [(0.0, 3.0), (2.5, 6.0), (7.1, 9.9)]:
+            assert ash.selectivity(a, b) == pytest.approx(ewh.selectivity(a, b))
+
+    def test_average_of_components(self, sample, domain):
+        """ASH selectivity is exactly the mean of the shifted EWHs."""
+        shifts, bins = 4, 8
+        ash = AverageShiftedHistogram(sample, domain, bins=bins, shifts=shifts)
+        step = ash.bin_width / shifts
+        components = [
+            EquiWidthHistogram(sample, domain, bins, origin=domain.low - j * step)
+            for j in range(shifts)
+        ]
+        expected = np.mean([c.selectivity(2.0, 4.7) for c in components])
+        assert ash.selectivity(2.0, 4.7) == pytest.approx(expected)
+
+    def test_smoother_than_single_histogram(self, sample, domain):
+        """The ASH density has smaller jumps than the raw histogram."""
+        bins = 10
+        ash = AverageShiftedHistogram(sample, domain, bins=bins, shifts=10)
+        ewh = EquiWidthHistogram(sample, domain, bins)
+        grid = np.linspace(0.01, 9.99, 500)
+        ash_jumps = np.abs(np.diff(ash.density(grid))).max()
+        ewh_jumps = np.abs(np.diff(ewh.density(grid))).max()
+        assert ash_jumps < ewh_jumps
+
+    def test_rejects_zero_shifts(self, sample, domain):
+        with pytest.raises(InvalidSampleError):
+            AverageShiftedHistogram(sample, domain, bins=5, shifts=0)
+
+    def test_rejects_zero_bins(self, sample, domain):
+        with pytest.raises(InvalidSampleError):
+            AverageShiftedHistogram(sample, domain, bins=0, shifts=2)
+
+    def test_shift_count_property(self, sample, domain):
+        ash = AverageShiftedHistogram(sample, domain, bins=5, shifts=7)
+        assert ash.shifts == 7

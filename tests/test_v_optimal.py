@@ -1,0 +1,104 @@
+"""Tests for V-optimal histograms (repro.core.histogram.v_optimal)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidSampleError
+from repro.core.histogram import EquiWidthHistogram, VOptimalHistogram
+from repro.core.histogram.v_optimal import _sse_prefixes, _segment_sse, optimal_partition
+from repro.data.domain import Interval
+
+
+class TestPartitionDP:
+    def test_trivial_single_bucket(self):
+        assert optimal_partition(np.array([1.0, 2.0, 3.0]), 1) == []
+
+    def test_as_many_buckets_as_cells(self):
+        assert optimal_partition(np.array([1.0, 2.0, 3.0]), 3) == [1, 2]
+
+    def test_obvious_two_level_split(self):
+        # Flat-low then flat-high: the single cut belongs at the step.
+        freq = np.array([1.0, 1.0, 1.0, 9.0, 9.0, 9.0])
+        assert optimal_partition(freq, 2) == [3]
+
+    def test_three_levels(self):
+        freq = np.array([0.0, 0.0, 5.0, 5.0, 20.0, 20.0])
+        assert optimal_partition(freq, 3) == [2, 4]
+
+    def test_zero_sse_when_buckets_fit_structure(self):
+        freq = np.array([2.0, 2.0, 7.0, 7.0])
+        cuts = optimal_partition(freq, 2)
+        p1, p2 = _sse_prefixes(freq)
+        total = _segment_sse(p1, p2, 0, cuts[0]) + _segment_sse(p1, p2, cuts[0], 4)
+        assert total == pytest.approx(0.0)
+
+    def test_matches_bruteforce_on_random_inputs(self):
+        rng = np.random.default_rng(0)
+        from itertools import combinations
+
+        for _ in range(10):
+            freq = rng.integers(0, 20, size=9).astype(float)
+            k = int(rng.integers(2, 5))
+            p1, p2 = _sse_prefixes(freq)
+
+            def cost(cuts):
+                edges = [0, *cuts, freq.size]
+                return sum(
+                    _segment_sse(p1, p2, i, j) for i, j in zip(edges, edges[1:])
+                )
+
+            best = min(
+                (cost(list(c)) for c in combinations(range(1, freq.size), k - 1)),
+            )
+            dp_cuts = optimal_partition(freq, k)
+            assert cost(dp_cuts) == pytest.approx(best, abs=1e-9)
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(InvalidSampleError):
+            optimal_partition(np.array([1.0]), 0)
+
+
+class TestVOptimalHistogram:
+    @pytest.fixture()
+    def domain(self):
+        return Interval(0.0, 100.0)
+
+    def test_mass_conserved(self, domain):
+        rng = np.random.default_rng(1)
+        sample = rng.uniform(0, 100, 800)
+        hist = VOptimalHistogram(sample, domain, 12)
+        assert hist.selectivity(0.0, 100.0) == pytest.approx(1.0)
+
+    def test_boundaries_isolate_clusters(self, domain):
+        """Two clusters far apart: 2 buckets must split between them,
+        giving near-exact cluster masses (unlike equi-width)."""
+        rng = np.random.default_rng(2)
+        sample = np.concatenate([rng.uniform(0, 10, 300), rng.uniform(90, 100, 700)])
+        hist = VOptimalHistogram(sample, domain, 3)
+        assert hist.selectivity(0.0, 15.0) == pytest.approx(0.3, abs=0.02)
+        assert hist.selectivity(85.0, 100.0) == pytest.approx(0.7, abs=0.02)
+
+    def test_beats_equi_width_on_step_density(self, domain):
+        rng = np.random.default_rng(3)
+        sample = np.concatenate(
+            [rng.uniform(0, 30, 1_500), rng.uniform(30, 100, 150)]
+        )
+        vopt = VOptimalHistogram(sample, domain, 4)
+        ewh = EquiWidthHistogram(sample, domain, 4)
+        # Selectivity of a range hugging the step.
+        true = 1_500 / 1_650
+        assert abs(vopt.selectivity(0, 30) - true) < abs(ewh.selectivity(0, 30) - true)
+
+    def test_requires_enough_base_cells(self, domain):
+        with pytest.raises(InvalidSampleError):
+            VOptimalHistogram(np.array([1.0, 2.0]), domain, bins=10, base_cells=5)
+
+    def test_rejects_zero_bins(self, domain):
+        with pytest.raises(InvalidSampleError):
+            VOptimalHistogram(np.array([1.0]), domain, 0)
+
+    def test_bin_count_respected(self, domain):
+        rng = np.random.default_rng(4)
+        sample = rng.uniform(0, 100, 500)
+        hist = VOptimalHistogram(sample, domain, 7)
+        assert hist.bin_count == 7

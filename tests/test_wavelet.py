@@ -1,0 +1,99 @@
+"""Tests for wavelet histograms (repro.core.histogram.wavelet)."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import InvalidSampleError
+from repro.core.histogram import WaveletHistogram
+from repro.core.histogram.wavelet import haar_inverse, haar_transform
+from repro.data.domain import Interval
+
+
+class TestHaarTransform:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        vector = rng.uniform(0, 1, 64)
+        np.testing.assert_allclose(haar_inverse(haar_transform(vector)), vector)
+
+    def test_constant_vector_single_coefficient(self):
+        coeffs = haar_transform(np.full(16, 3.5))
+        assert coeffs[0] == pytest.approx(3.5)
+        np.testing.assert_allclose(coeffs[1:], 0.0, atol=1e-12)
+
+    def test_average_is_first_coefficient(self):
+        vector = np.arange(8, dtype=float)
+        assert haar_transform(vector)[0] == pytest.approx(vector.mean())
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(InvalidSampleError):
+            haar_transform(np.zeros(6))
+        with pytest.raises(InvalidSampleError):
+            haar_inverse(np.zeros(6))
+
+    def test_step_vector_is_sparse(self):
+        """A step function needs very few Haar coefficients."""
+        vector = np.concatenate([np.zeros(8), np.ones(8)])
+        coeffs = haar_transform(vector)
+        assert np.count_nonzero(np.abs(coeffs) > 1e-12) <= 2
+
+
+class TestWaveletHistogram:
+    @pytest.fixture()
+    def domain(self):
+        return Interval(0.0, 100.0)
+
+    @pytest.fixture()
+    def sample(self):
+        return np.random.default_rng(1).normal(50, 12, 1_000).clip(0, 100)
+
+    def test_full_budget_is_exact_on_grid(self, sample, domain):
+        """With every coefficient kept, the estimator reproduces the
+        empirical CDF at grid boundaries."""
+        hist = WaveletHistogram(sample, domain, coefficients=1_024, grid=1_024)
+        edge = 50.0 + (100.0 / 1_024) * 0  # a grid-aligned point
+        empirical = np.mean(sample <= edge)
+        assert hist.selectivity(0.0, edge) == pytest.approx(empirical, abs=1e-9)
+
+    def test_mass_conserved(self, sample, domain):
+        hist = WaveletHistogram(sample, domain, coefficients=16)
+        assert hist.selectivity(0.0, 100.0) == pytest.approx(1.0, abs=1e-9)
+
+    def test_monotone_cdf(self, sample, domain):
+        hist = WaveletHistogram(sample, domain, coefficients=8)
+        grid = np.linspace(0, 100, 333)
+        sel = hist.selectivities(np.zeros_like(grid), grid)
+        assert (np.diff(sel) >= -1e-12).all()
+
+    def test_more_coefficients_more_accuracy(self, sample, domain):
+        """The coefficient budget is the wavelet histogram's smoothing
+        parameter: more budget, lower error."""
+        from repro.evaluation.truth import NormalTruth
+
+        truth = NormalTruth(domain, mean=50.0, sigma=12.0)
+        queries = [(30.0, 40.0), (45.0, 55.0), (60.0, 80.0), (10.0, 20.0)]
+
+        def error(budget: int) -> float:
+            hist = WaveletHistogram(sample, domain, coefficients=budget)
+            return sum(
+                abs(hist.selectivity(a, b) - truth.selectivity(a, b))
+                for a, b in queries
+            )
+
+        assert error(64) < error(2)
+
+    def test_density_nonnegative(self, sample, domain):
+        hist = WaveletHistogram(sample, domain, coefficients=16)
+        grid = np.linspace(-10, 110, 500)
+        assert (hist.density(grid) >= 0).all()
+
+    def test_rejects_bad_budget(self, sample, domain):
+        with pytest.raises(InvalidSampleError):
+            WaveletHistogram(sample, domain, coefficients=0)
+
+    def test_rejects_bad_grid(self, sample, domain):
+        with pytest.raises(InvalidSampleError):
+            WaveletHistogram(sample, domain, grid=1000)
+
+    def test_budget_property_capped_at_grid(self, sample, domain):
+        hist = WaveletHistogram(sample, domain, coefficients=10_000, grid=64)
+        assert hist.coefficient_budget == 64

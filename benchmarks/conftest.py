@@ -18,6 +18,7 @@ import pytest
 
 from repro.experiments.harness import PAPER_BAR_DATASETS, ExperimentConfig
 from repro.experiments.reporting import FigureResult
+from repro.telemetry import BenchmarkExporter
 
 _FULL = os.environ.get("REPRO_FULL_PROTOCOL", "") == "1"
 
@@ -28,6 +29,23 @@ BENCH = ExperimentConfig(
 )
 
 REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+#: Machine-readable perf trajectory, at the repository root so diffs of
+#: successive PRs show the movement (see repro.telemetry.bench).
+BENCH_JSON = pathlib.Path(__file__).parent.parent / "BENCH_perf.json"
+
+_EXPORTER = BenchmarkExporter()
+
+
+@pytest.fixture()
+def perf_export():
+    """Recorder the ``test_perf_*`` modules feed their timings into."""
+    return _EXPORTER
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Merge recorded perf timings into BENCH_perf.json (if any)."""
+    _EXPORTER.export(BENCH_JSON)
 
 
 @pytest.fixture()

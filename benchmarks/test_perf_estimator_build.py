@@ -2,7 +2,9 @@
 
 Micro-benchmarks of what a database system would pay: building the
 statistic from a 2,000-record sample (ANALYZE time) and answering a
-300-query batch (optimization time).
+300-query batch (optimization time).  Timings are exported through the
+telemetry benchmark exporter into ``BENCH_perf.json`` at the repo root
+(the machine-readable perf trajectory).
 """
 
 import numpy as np
@@ -39,14 +41,16 @@ BUILDERS = {
 
 
 @pytest.mark.parametrize("name", sorted(BUILDERS))
-def test_perf_build(benchmark, sample, name):
+def test_perf_build(benchmark, sample, name, perf_export):
     estimator = benchmark(BUILDERS[name], sample)
     assert estimator.selectivity(DOMAIN.low, DOMAIN.high) >= 0.0
+    perf_export.record("perf_build", name, benchmark.stats.stats)
 
 
 @pytest.mark.parametrize("name", sorted(BUILDERS))
-def test_perf_query_batch(benchmark, sample, query_batch, name):
+def test_perf_query_batch(benchmark, sample, query_batch, name, perf_export):
     estimator = BUILDERS[name](sample)
     a, b = query_batch
     out = benchmark(estimator.selectivities, a, b)
     assert out.shape == a.shape
+    perf_export.record("perf_query_batch", name, benchmark.stats.stats)

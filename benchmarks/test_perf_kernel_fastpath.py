@@ -28,13 +28,14 @@ def queries():
     return a, a + 0.01
 
 
-def test_perf_fast_path(benchmark, estimator, queries):
+def test_perf_fast_path(benchmark, estimator, queries, perf_export):
     a, b = queries
     result = benchmark(estimator.selectivities, a, b)
     assert result.shape == (N_QUERIES,)
+    perf_export.record("perf_kernel", "fast_path", benchmark.stats.stats)
 
 
-def test_perf_reference_scan(benchmark, estimator, queries):
+def test_perf_reference_scan(benchmark, estimator, queries, perf_export):
     a, b = queries
 
     def scan_all():
@@ -44,6 +45,7 @@ def test_perf_reference_scan(benchmark, estimator, queries):
 
     result = benchmark(scan_all)
     assert result.shape == (N_QUERIES,)
+    perf_export.record("perf_kernel", "reference_scan", benchmark.stats.stats)
 
 
 def test_fastpath_agrees_with_scan(estimator, queries):

@@ -6,6 +6,8 @@ Regenerates the paper's tables and figures from the terminal::
     python -m repro fig12            # one experiment, fast protocol
     python -m repro all --paper      # everything, full protocol
     python -m repro fig04 --csv      # machine-readable output
+    python -m repro fig12 --trace    # + span tree and JSON run manifest
+    python -m repro stats            # aggregate existing run manifests
 """
 
 from __future__ import annotations
@@ -47,11 +49,37 @@ EXPERIMENTS = {
 }
 
 
+def _render_stats() -> str:
+    """Aggregate the manifest drop box into one text table."""
+    from repro import telemetry
+    from repro.experiments.reporting import make_result
+
+    rows = telemetry.aggregate_manifests()
+    directory = telemetry.manifest_dir()
+    if not rows:
+        return (
+            f"no run manifests under {directory}\n"
+            "run an experiment with --trace first, e.g. "
+            "`python -m repro fig12 --trace`\n"
+        )
+    # Durations and counts are not error fractions; format them as-is.
+    formatted = [
+        {key: (str(value) if isinstance(value, float) else value) for key, value in row.items()}
+        for row in rows
+    ]
+    result = make_result(
+        "stats",
+        f"telemetry run manifests ({directory})",
+        formatted,
+    )
+    return result.render()
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig12), 'all', or 'list'",
+        help="experiment id (e.g. fig12), 'all', 'list', or 'stats'",
     )
     parser.add_argument(
         "--paper",
@@ -63,6 +91,17 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="emit CSV instead of the rendered table",
     )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="enable telemetry: print a span-tree summary and write a "
+        "JSON run manifest under benchmarks/reports/manifests/",
+    )
+    parser.add_argument(
+        "--trace-memory",
+        action="store_true",
+        help="with --trace, additionally capture tracemalloc peak memory per span",
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -71,20 +110,35 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:<8} {doc}")
         return 0
 
+    if args.experiment == "stats":
+        print(_render_stats(), end="")
+        return 0
+
     if args.experiment == "all":
-        selected = list(EXPERIMENTS.values())
+        selected = list(EXPERIMENTS.items())
     elif args.experiment in EXPERIMENTS:
-        selected = [EXPERIMENTS[args.experiment]]
+        selected = [(args.experiment, EXPERIMENTS[args.experiment])]
     else:
         parser.error(
             f"unknown experiment {args.experiment!r}; "
-            f"choose from {', '.join(EXPERIMENTS)}, all, list"
+            f"choose from {', '.join(EXPERIMENTS)}, all, list, stats"
         )
 
     config = DEFAULT if args.paper else FAST
-    for module in selected:
-        result = module.run(config)
-        print(result.to_csv() if args.csv else result.render())
+    for name, module in selected:
+        if args.trace:
+            from repro.experiments.harness import run_traced
+
+            result, manifest_path, session = run_traced(
+                name, module.run, config, trace_memory=args.trace_memory
+            )
+            print(result.to_csv() if args.csv else result.render())
+            print("-- telemetry spans --")
+            print(session.render_spans())
+            print(f"-- run manifest: {manifest_path}")
+        else:
+            result = module.run(config)
+            print(result.to_csv() if args.csv else result.render())
     return 0
 
 

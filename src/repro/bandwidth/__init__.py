@@ -44,11 +44,17 @@ from repro.bandwidth.sample_size import (
     kernel_sample_size,
     sampling_sample_size,
 )
-from repro.bandwidth.scale import iqr, robust_scale, to_gaussian_bandwidth
+from repro.bandwidth.scale import (
+    clamp_bandwidth,
+    iqr,
+    robust_scale,
+    to_gaussian_bandwidth,
+)
 
 __all__ = [
     "amise_histogram",
     "amise_kernel",
+    "clamp_bandwidth",
     "exponential_roughness",
     "histogram_bin_count",
     "histogram_bin_width",

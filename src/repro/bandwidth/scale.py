@@ -13,9 +13,15 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.base import InvalidSampleError, validate_sample
+from repro.telemetry import get_telemetry
 
 #: IQR of the standard normal distribution: ``2 * Phi^-1(0.75)``.
 NORMAL_IQR = 1.348
+
+#: Largest bandwidth-to-width ratio the boundary treatments allow: the
+#: left and right boundary regions (each one bandwidth wide) must not
+#: overlap, so ``h`` is capped just below half the domain width.
+MAX_BANDWIDTH_FRACTION = 0.499
 
 #: Canonical-bandwidth ratio between the Gaussian and Epanechnikov
 #: kernels, ``delta_gauss / delta_epan`` with
@@ -52,6 +58,24 @@ def robust_scale(sample: np.ndarray) -> float:
     if not candidates:
         raise InvalidSampleError("sample has zero scale (all values identical)")
     return min(candidates)
+
+
+def clamp_bandwidth(bandwidth: float, width: float) -> float:
+    """Cap ``bandwidth`` at :data:`MAX_BANDWIDTH_FRACTION` of ``width``.
+
+    Boundary treatments assume the two boundary regions are disjoint;
+    selection rules occasionally propose a bandwidth wider than half
+    the (sub)domain, especially on narrow hybrid bins.  Each clamp is
+    counted as the ``estimator.bandwidth.clamp`` telemetry event so
+    traced runs reveal how often the rules run into the cap.
+    """
+    limit = MAX_BANDWIDTH_FRACTION * float(width)
+    if bandwidth <= limit:
+        return float(bandwidth)
+    telemetry = get_telemetry()
+    if telemetry.enabled:
+        telemetry.metrics.inc("estimator.bandwidth.clamp")
+    return limit
 
 
 def to_gaussian_bandwidth(epanechnikov_bandwidth: float) -> float:

@@ -21,9 +21,13 @@ Two abstractions capture that contract:
 from __future__ import annotations
 
 import abc
+import functools
+import time
 from typing import TYPE_CHECKING
 
 import numpy as np
+
+from repro.telemetry import get_telemetry
 
 if TYPE_CHECKING:
     from repro.data.domain import Interval
@@ -101,6 +105,127 @@ def validate_query(a: float, b: float) -> tuple[float, float]:
     return a, b
 
 
+# --------------------------------------------------------------------
+# Telemetry instrumentation (see docs/OBSERVABILITY.md).
+#
+# Every concrete estimator subclass is wrapped automatically via
+# ``__init_subclass__``: construction is traced as an
+# ``estimator.build`` span and queries are recorded as
+# ``estimator.query`` metrics.  The wrappers short-circuit to the
+# original method when the process-global telemetry is disabled (the
+# default), so the steady-state cost is one attribute check.
+
+#: Re-entrancy depth of query instrumentation.  A batch call that
+#: falls back to the scalar loop (or an estimator delegating to inner
+#: estimators, like the hybrid) must be recorded once, at the
+#: outermost level.
+_query_depth = 0
+
+
+def _observe_smoothing(telemetry, estimator) -> None:
+    """Record the smoothing parameter the finished build chose."""
+    cls_name = type(estimator).__name__
+    for attribute, metric in (("bandwidth", "estimator.bandwidth"), ("bin_count", "estimator.bins")):
+        try:
+            value = getattr(estimator, attribute, None)
+        except Exception:  # a property that itself fails must not break builds
+            continue
+        if isinstance(value, (int, float)) and np.isfinite(value):
+            telemetry.metrics.observe(f"{metric}.{cls_name}", float(value))
+
+
+def _wrap_build(fn):
+    @functools.wraps(fn)
+    def build(self, *args, **kwargs):
+        telemetry = get_telemetry()
+        if not telemetry.enabled or telemetry.in_span("estimator.build"):
+            return fn(self, *args, **kwargs)
+        cls_name = type(self).__name__
+        with telemetry.span("estimator.build", **{"class": cls_name}) as record:
+            result = fn(self, *args, **kwargs)
+        telemetry.metrics.inc("estimator.build")
+        telemetry.metrics.observe(f"estimator.build.seconds.{cls_name}", record.duration)
+        _observe_smoothing(telemetry, self)
+        return result
+
+    build.__telemetry_wrapped__ = True
+    return build
+
+
+def _wrap_selectivity(fn):
+    @functools.wraps(fn)
+    def selectivity(self, a, b):
+        global _query_depth
+        telemetry = get_telemetry()
+        if not telemetry.enabled or _query_depth:
+            return fn(self, a, b)
+        cls_name = type(self).__name__
+        _query_depth += 1
+        start = time.perf_counter()
+        try:
+            result = fn(self, a, b)
+        finally:
+            _query_depth -= 1
+        elapsed = time.perf_counter() - start
+        telemetry.metrics.inc("estimator.query")
+        telemetry.metrics.observe(f"estimator.query.seconds.{cls_name}", elapsed)
+        telemetry.metrics.observe(f"estimator.query.latency.{cls_name}", elapsed)
+        return result
+
+    selectivity.__telemetry_wrapped__ = True
+    return selectivity
+
+
+def _wrap_selectivities(fn):
+    @functools.wraps(fn)
+    def selectivities(self, a, b):
+        global _query_depth
+        telemetry = get_telemetry()
+        if not telemetry.enabled or _query_depth:
+            return fn(self, a, b)
+        cls_name = type(self).__name__
+        _query_depth += 1
+        try:
+            with telemetry.span("estimator.query_batch", **{"class": cls_name}) as record:
+                result = fn(self, a, b)
+        finally:
+            _query_depth -= 1
+        size = int(np.asarray(a).size)
+        telemetry.metrics.inc("estimator.query", size)
+        telemetry.metrics.inc("estimator.query_batch")
+        telemetry.metrics.observe("estimator.query_batch.size", size)
+        telemetry.metrics.observe(f"estimator.query.seconds.{cls_name}", record.duration)
+        if size:
+            telemetry.metrics.observe(
+                f"estimator.query.latency.{cls_name}", record.duration / size
+            )
+        return result
+
+    selectivities.__telemetry_wrapped__ = True
+    return selectivities
+
+
+_INSTRUMENTED = {
+    "__init__": _wrap_build,
+    "selectivity": _wrap_selectivity,
+    "selectivities": _wrap_selectivities,
+}
+
+
+def _instrument_estimator_class(cls) -> None:
+    """Wrap the methods ``cls`` itself defines (inherited ones are
+    already wrapped in the class that defined them)."""
+    for name, wrapper in _INSTRUMENTED.items():
+        fn = cls.__dict__.get(name)
+        if fn is None or not callable(fn):
+            continue
+        if getattr(fn, "__telemetry_wrapped__", False):
+            continue
+        if getattr(fn, "__isabstractmethod__", False):
+            continue
+        setattr(cls, name, wrapper(fn))
+
+
 class SelectivityEstimator(abc.ABC):
     """A built statistic that estimates range-query selectivities.
 
@@ -108,7 +233,15 @@ class SelectivityEstimator(abc.ABC):
     once from a sample (the cheap statistics-collection step a database
     system runs at ANALYZE time) and then answer arbitrarily many
     queries.
+
+    Subclasses are automatically instrumented for telemetry: builds
+    emit ``estimator.build`` spans, queries emit ``estimator.query``
+    metrics (no-ops while telemetry is disabled, the default).
     """
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        _instrument_estimator_class(cls)
 
     @property
     @abc.abstractmethod

@@ -30,6 +30,7 @@ from repro.core.base import (
     validate_query,
     validate_sample,
 )
+from repro.bandwidth.scale import clamp_bandwidth
 from repro.core.changepoints import detect_change_points
 from repro.core.kernel.boundary import make_kernel_estimator
 from repro.data.domain import Interval
@@ -185,7 +186,7 @@ class HybridEstimator(DensityEstimator):
         # Boundary regions of a bin must not overlap (paper §3.2.1
         # machinery); also guard degenerate zero bandwidths from
         # duplicate-heavy bins.
-        bandwidth = min(bandwidth, 0.499 * interval.width)
+        bandwidth = clamp_bandwidth(bandwidth, interval.width)
         if bandwidth <= 0:
             return _UniformBin(interval)
         return make_kernel_estimator(in_bin, bandwidth, interval, boundary=boundary)

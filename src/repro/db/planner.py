@@ -11,12 +11,14 @@ classic index-probe vs. sequential-scan trade-off.
 from __future__ import annotations
 
 import dataclasses
+import time
 
 import numpy as np
 
 from repro.core.base import InvalidQueryError, validate_query
 from repro.db.catalog import Catalog
 from repro.db.table import Table
+from repro.telemetry import get_telemetry
 
 
 @dataclasses.dataclass(frozen=True)
@@ -35,22 +37,44 @@ class RangePredicate:
 
 @dataclasses.dataclass(frozen=True)
 class Plan:
-    """An EXPLAIN row: the chosen access path and its numbers."""
+    """An EXPLAIN row: the chosen access path and its numbers.
+
+    Beyond the classic EXPLAIN columns, a plan carries its own
+    observability record: where each selectivity factor came from
+    (``provenance``) and how long each planning stage took
+    (``timings``, stage → seconds).  ``explain(analyze=True)`` renders
+    both, in the spirit of ``EXPLAIN ANALYZE``.
+    """
 
     table: str
     access_path: str
     estimated_rows: float
     estimated_cost: float
     alternatives: tuple[tuple[str, float], ...]
+    provenance: tuple[str, ...] = ()
+    timings: tuple[tuple[str, float], ...] = ()
 
-    def explain(self) -> str:
-        """One-line EXPLAIN rendering."""
-        others = ", ".join(f"{name}={cost:.0f}" for name, cost in self.alternatives)
-        return (
+    def explain(self, analyze: bool = False) -> str:
+        """EXPLAIN rendering; ``analyze=True`` adds timings + provenance."""
+        line = (
             f"{self.access_path} on {self.table}  "
-            f"(rows~{self.estimated_rows:.0f}, cost={self.estimated_cost:.0f}; "
-            f"rejected: {others})"
+            f"(rows~{self.estimated_rows:.0f}, cost={self.estimated_cost:.0f}"
         )
+        if self.alternatives:
+            others = ", ".join(f"{name}={cost:.0f}" for name, cost in self.alternatives)
+            line += f"; rejected: {others}"
+        line += ")"
+        if not analyze:
+            return line
+        lines = [line]
+        if self.provenance:
+            lines.append("  estimates: " + "; ".join(self.provenance))
+        if self.timings:
+            lines.append(
+                "  timings: "
+                + ", ".join(f"{stage}={seconds * 1e6:.1f}us" for stage, seconds in self.timings)
+            )
+        return "\n".join(lines)
 
 
 class Planner:
@@ -86,8 +110,15 @@ class Planner:
         Pairs covered by joint statistics are estimated jointly; the
         remaining factors multiply in (independence assumption).
         """
+        return self._selectivity_with_provenance(table, predicates)[0]
+
+    def _selectivity_with_provenance(
+        self, table: Table, predicates: "list[RangePredicate]"
+    ) -> tuple[float, tuple[str, ...]]:
+        """Selectivity plus a human-readable source per factor."""
         if not predicates:
-            return 1.0
+            return 1.0, ("no predicates: selectivity 1",)
+        provenance: list[str] = []
         by_column: dict[str, RangePredicate] = {}
         for predicate in predicates:
             if predicate.column in by_column:
@@ -96,7 +127,7 @@ class Planner:
                 a = max(existing.a, predicate.a)
                 b = min(existing.b, predicate.b)
                 if a > b:
-                    return 0.0
+                    return 0.0, (f"contradiction({predicate.column}): selectivity 0",)
                 by_column[predicate.column] = RangePredicate(predicate.column, a, b)
             else:
                 by_column[predicate.column] = predicate
@@ -117,27 +148,64 @@ class Planner:
                 joint = self._catalog.joint_statistic(table.name, first, second)
                 p_first = remaining.pop(first)
                 p_second = remaining.pop(second)
-                total *= joint.selectivity(
-                    p_first.a, p_first.b, p_second.a, p_second.b
+                factor = joint.selectivity(p_first.a, p_first.b, p_second.a, p_second.b)
+                provenance.append(
+                    f"joint({first},{second})={factor:.4g} [{type(joint).__name__}]"
                 )
+                total *= factor
         for column, predicate in remaining.items():
             statistic = self._catalog.column_statistic(table.name, column)
-            total *= statistic.selectivity(predicate.a, predicate.b)
-        return float(np.clip(total, 0.0, 1.0))
+            factor = statistic.selectivity(predicate.a, predicate.b)
+            provenance.append(
+                f"column({column})={factor:.4g} [{type(statistic).__name__}]"
+            )
+            total *= factor
+        if len(provenance) > 1:
+            provenance.append("combined under independence")
+        return float(np.clip(total, 0.0, 1.0)), tuple(provenance)
 
     def cardinality(self, table: Table, predicates: "list[RangePredicate]") -> float:
         """Estimated result rows ``N * sigma``."""
         return self.selectivity(table, predicates) * self._catalog.row_count(table.name)
 
     def plan(self, table: Table, predicates: "list[RangePredicate]") -> Plan:
-        """Choose the cheaper access path under the cost model."""
-        rows = self._catalog.row_count(table.name)
-        estimated = self.cardinality(table, predicates)
-        seq_cost = rows * self._c_seq
-        index_cost = self._c_probe + estimated * self._c_rand
-        paths = {"seq scan": seq_cost, "index scan": index_cost}
-        winner = min(paths, key=paths.get)
-        alternatives = tuple(
-            (name, cost) for name, cost in paths.items() if name != winner
+        """Choose the cheaper access path under the cost model.
+
+        The returned plan records per-stage wall-clock timings
+        (``estimate`` and ``costing``) and the provenance of every
+        selectivity factor; a traced run additionally emits
+        ``planner.plan`` / ``planner.estimate`` spans and counts
+        ``planner.plan`` per produced plan.
+        """
+        telemetry = get_telemetry()
+        with telemetry.span("planner.plan", table=table.name):
+            start = time.perf_counter()
+            with telemetry.span("planner.estimate", table=table.name):
+                selectivity, provenance = self._selectivity_with_provenance(
+                    table, predicates
+                )
+            rows = self._catalog.row_count(table.name)
+            estimated = selectivity * rows
+            estimate_seconds = time.perf_counter() - start
+
+            start = time.perf_counter()
+            seq_cost = rows * self._c_seq
+            index_cost = self._c_probe + estimated * self._c_rand
+            paths = {"seq scan": seq_cost, "index scan": index_cost}
+            winner = min(paths, key=paths.get)
+            alternatives = tuple(
+                (name, cost) for name, cost in paths.items() if name != winner
+            )
+            costing_seconds = time.perf_counter() - start
+        if telemetry.enabled:
+            telemetry.metrics.inc("planner.plan")
+            telemetry.metrics.observe("planner.estimate.rows", estimated)
+        return Plan(
+            table.name,
+            winner,
+            estimated,
+            paths[winner],
+            alternatives,
+            provenance=provenance,
+            timings=(("estimate", estimate_seconds), ("costing", costing_seconds)),
         )
-        return Plan(table.name, winner, estimated, paths[winner], alternatives)

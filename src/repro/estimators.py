@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.bandwidth.normal_scale import histogram_bin_count, kernel_bandwidth
 from repro.bandwidth.plugin import plugin_bandwidth, plugin_bin_count
+from repro.bandwidth.scale import clamp_bandwidth
 from repro.core.base import InvalidSampleError, SelectivityEstimator
 from repro.core.histogram import (
     AverageShiftedHistogram,
@@ -168,7 +169,7 @@ def kernel(
         boundary = "kernel" if domain is not None else "none"
     h = _resolve_bandwidth(bandwidth, sample, domain, kernel_function)
     if domain is not None and boundary != "none":
-        h = min(h, 0.499 * domain.width)
+        h = clamp_bandwidth(h, domain.width)
     return make_kernel_estimator(
         sample, h, domain, boundary=boundary, kernel=kernel_function
     )

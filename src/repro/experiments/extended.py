@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.bandwidth.normal_scale import histogram_bin_count
 from repro.bandwidth.plugin import plugin_bandwidth
+from repro.bandwidth.scale import clamp_bandwidth
 from repro.core.histogram import (
     EndBiasedHistogram,
     EquiWidthHistogram,
@@ -33,8 +34,8 @@ def run(config: ExperimentConfig = DEFAULT) -> FigureResult:
         context = load_context(name, config)
         sample, domain, queries = context.sample, context.relation.domain, context.queries
         bins = histogram_bin_count(sample, domain)
-        h_dpi = min(
-            plugin_bandwidth(sample, steps=2, domain=domain), 0.499 * domain.width
+        h_dpi = clamp_bandwidth(
+            plugin_bandwidth(sample, steps=2, domain=domain), domain.width
         )
         estimators = {
             "EWH": EquiWidthHistogram(sample, domain, bins),

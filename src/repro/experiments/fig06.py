@@ -11,6 +11,7 @@ matching the theory's convergence rates n^(-4/5), n^(-2/3), n^(-1/2).
 from __future__ import annotations
 
 from repro.bandwidth.normal_scale import histogram_bin_count, kernel_bandwidth
+from repro.bandwidth.scale import clamp_bandwidth
 from repro.core.histogram import EquiWidthHistogram
 from repro.core.kernel import make_kernel_estimator
 from repro.core.sampling import SamplingEstimator
@@ -43,7 +44,7 @@ def run(
     for n in sample_sizes:
         sample = relation.sample(n, seed=config.sample_seed(f"{DATASET}#{n}"))
         bins = histogram_bin_count(sample, relation.domain)
-        bandwidth = min(kernel_bandwidth(sample), 0.499 * relation.domain.width)
+        bandwidth = clamp_bandwidth(kernel_bandwidth(sample), relation.domain.width)
         rows.append(
             {
                 "sample size": n,

@@ -15,6 +15,7 @@ import numpy as np
 from repro.bandwidth.normal_scale import kernel_bandwidth
 from repro.bandwidth.oracle import default_bandwidth_grid, oracle_bandwidth
 from repro.bandwidth.plugin import plugin_bandwidth
+from repro.bandwidth.scale import clamp_bandwidth
 from repro.core.kernel import make_kernel_estimator
 from repro.experiments.harness import DEFAULT, ExperimentConfig, load_context
 from repro.experiments.reporting import FigureResult, make_result
@@ -31,9 +32,9 @@ def run(config: ExperimentConfig = DEFAULT) -> FigureResult:
         def factory(h: float):
             return make_kernel_estimator(sample, h, domain, boundary="kernel")
 
-        h_ns = min(kernel_bandwidth(sample), 0.499 * domain.width)
-        h_dpi = min(
-            plugin_bandwidth(sample, steps=2, domain=domain), 0.499 * domain.width
+        h_ns = clamp_bandwidth(kernel_bandwidth(sample), domain.width)
+        h_dpi = clamp_bandwidth(
+            plugin_bandwidth(sample, steps=2, domain=domain), domain.width
         )
         # Include the rules' own picks so the oracle never loses to a
         # rule on grid granularity alone.

@@ -16,6 +16,7 @@ and all methods are roughly tied on the census file.
 from __future__ import annotations
 
 from repro.bandwidth.plugin import plugin_bandwidth
+from repro.bandwidth.scale import clamp_bandwidth
 from repro.core.histogram import AverageShiftedHistogram
 from repro.core.kernel import make_kernel_estimator
 from repro.core.hybrid import HybridEstimator
@@ -50,8 +51,8 @@ def run(config: ExperimentConfig = DEFAULT) -> FigureResult:
         context = load_context(name, config)
         sample, domain, queries = context.sample, context.relation.domain, context.queries
         bins = histogram_bin_count(sample, domain)
-        h_dpi = min(
-            plugin_bandwidth(sample, steps=2, domain=domain), 0.499 * domain.width
+        h_dpi = clamp_bandwidth(
+            plugin_bandwidth(sample, steps=2, domain=domain), domain.width
         )
         estimators = {
             "EWH": EquiWidthHistogram(sample, domain, bins),

@@ -12,13 +12,20 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import pathlib
+import typing
 import zlib
 
 import numpy as np
 
 from repro.data import registry
 from repro.data.relation import Relation
+from repro.telemetry import get_telemetry
 from repro.workload.queries import QueryFile, generate_query_file
+
+if typing.TYPE_CHECKING:
+    from repro.experiments.reporting import FigureResult
+    from repro.telemetry import Telemetry
 
 #: Data files used by the bar-style figures (8, 9, 11, 12).  The paper
 #: shows "the different data files"; this is the large-domain subset
@@ -85,16 +92,20 @@ def _cached_context(
     n_queries: int,
     query_size: float,
 ) -> Context:
-    relation = registry.load(name, seed=seed)
-    config = ExperimentConfig(seed=seed)
-    sample = relation.sample(sample_size, seed=config.sample_seed(name))
-    sample.flags.writeable = False
-    queries = generate_query_file(
-        relation,
-        query_size,
-        n_queries=n_queries,
-        seed=config.query_seed(name, query_size),
-    )
+    telemetry = get_telemetry()
+    with telemetry.span("harness.load_context", dataset=name):
+        relation = registry.load(name, seed=seed)
+        config = ExperimentConfig(seed=seed)
+        sample = relation.sample(sample_size, seed=config.sample_seed(name))
+        sample.flags.writeable = False
+        queries = generate_query_file(
+            relation,
+            query_size,
+            n_queries=n_queries,
+            seed=config.query_seed(name, query_size),
+        )
+    if telemetry.enabled:
+        telemetry.metrics.inc("harness.context.load")
     return Context(relation, sample, queries)
 
 
@@ -113,3 +124,37 @@ def load_context(
     return _cached_context(
         name, config.seed, config.sample_size, config.n_queries, float(size)
     )
+
+
+def run_traced(
+    name: str,
+    run: "typing.Callable[[ExperimentConfig], FigureResult]",
+    config: ExperimentConfig = DEFAULT,
+    *,
+    trace_memory: bool = False,
+    manifest_directory: "pathlib.Path | None" = None,
+) -> "tuple[FigureResult, pathlib.Path, Telemetry]":
+    """Run one experiment under telemetry and write its run manifest.
+
+    A fresh enabled :class:`~repro.telemetry.Telemetry` session wraps
+    the whole run (so the manifest only contains this run's spans and
+    metrics); the experiment executes inside a ``harness.experiment``
+    span, and the resulting manifest — config, per-estimator
+    build/query timings, error metrics — is written under
+    :func:`repro.telemetry.manifest_dir`.
+
+    Returns ``(result, manifest_path, telemetry)``; the telemetry
+    object is already detached from the process global, ready for
+    rendering or snapshotting.
+    """
+    from repro import telemetry as _telemetry
+
+    with _telemetry.session(trace_memory=trace_memory) as session:
+        with session.span("harness.experiment", experiment=name) as record:
+            result = run(config)
+        session.metrics.inc("harness.experiment")
+        manifest = _telemetry.build_manifest(
+            name, result, config, session, duration_seconds=record.duration
+        )
+        path = _telemetry.write_manifest(manifest, manifest_directory)
+    return result, path, session

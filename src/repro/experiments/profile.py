@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.bandwidth.plugin import plugin_bandwidth
+from repro.bandwidth.scale import clamp_bandwidth
 from repro.core.hybrid import HybridEstimator
 from repro.core.kernel import make_kernel_estimator
 from repro.experiments.fig12 import HYBRID_KWARGS
@@ -32,7 +33,7 @@ def run(config: ExperimentConfig = DEFAULT, positions: int = 220) -> FigureResul
     domain = relation.domain
     sample = context.sample
 
-    h_dpi = min(plugin_bandwidth(sample, steps=2, domain=domain), 0.499 * domain.width)
+    h_dpi = clamp_bandwidth(plugin_bandwidth(sample, steps=2, domain=domain), domain.width)
     kernel = make_kernel_estimator(sample, h_dpi, domain, boundary="kernel")
     hybrid = HybridEstimator(sample, domain, **HYBRID_KWARGS)
     change_points = hybrid.change_points

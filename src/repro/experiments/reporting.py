@@ -90,6 +90,21 @@ class FigureResult:
             lines.append(",".join(str(row[c]) for c in columns))
         return "\n".join(lines) + "\n"
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-friendly rendering (numpy scalars converted).
+
+        This is the ``rows`` payload embedded in telemetry run
+        manifests (see :mod:`repro.telemetry.manifest`).
+        """
+        from repro.telemetry.manifest import to_jsonable
+
+        return {
+            "figure_id": self.figure_id,
+            "title": self.title,
+            "rows": [to_jsonable(dict(row)) for row in self.rows],
+            "notes": self.notes,
+        }
+
 
 def make_result(
     figure_id: str,

@@ -22,7 +22,9 @@ import dataclasses
 import numpy as np
 from scipy.special import ndtri
 
+from repro.bandwidth.scale import clamp_bandwidth
 from repro.core.base import InvalidQueryError, InvalidSampleError, validate_query
+from repro.telemetry import get_telemetry
 from repro.core.kernel.estimator import KernelSelectivityEstimator
 from repro.data.domain import Interval
 from repro.data.relation import Relation, _resolve_rng
@@ -102,7 +104,12 @@ class OnlineAggregator:
         return self._seen
 
     def advance(self, batch: int = 1_000) -> int:
-        """Consume up to ``batch`` more records; returns how many."""
+        """Consume up to ``batch`` more records; returns how many.
+
+        Traced runs count each non-empty batch (``online.batch``) and
+        record the per-batch record count and cumulative scan fraction
+        — the progress curve online aggregation is about.
+        """
         if batch <= 0:
             raise InvalidQueryError(f"batch must be positive, got {batch}")
         end = min(self._cursor + batch, self._relation.size)
@@ -112,6 +119,14 @@ class OnlineAggregator:
             new = self._relation.values[index]
             self._seen = np.concatenate([self._seen, new])
             self._cursor = end
+            telemetry = get_telemetry()
+            if telemetry.enabled:
+                telemetry.metrics.inc("online.batch")
+                telemetry.metrics.inc("online.records", taken)
+                telemetry.metrics.observe("online.batch.records", taken)
+                telemetry.metrics.observe(
+                    "online.scan.fraction", self._cursor / self._relation.size
+                )
         return taken
 
     def estimate(self, a: float, b: float) -> OnlineAggregate:
@@ -196,11 +211,17 @@ class OnlineKernelSelectivity:
                 break
         seen = self._stream.seen
         if seen.size >= 2:
+            telemetry = get_telemetry()
             try:
-                h = min(kernel_bandwidth(seen), 0.499 * self._domain.width)
-                self._estimator = ReflectionKernelEstimator(seen, h, self._domain)
+                with telemetry.span("online.resmooth", records=str(seen.size)):
+                    h = clamp_bandwidth(kernel_bandwidth(seen), self._domain.width)
+                    self._estimator = ReflectionKernelEstimator(seen, h, self._domain)
             except InvalidSampleError:
                 self._estimator = None
+            else:
+                if telemetry.enabled:
+                    telemetry.metrics.inc("online.resmooth")
+                    telemetry.metrics.observe("online.bandwidth", h)
 
     def selectivity(self, a: float, b: float) -> float:
         """Current kernel selectivity estimate of ``Q(a, b)``."""

@@ -1,0 +1,63 @@
+"""Telemetry: tracing spans, metrics, and run manifests.
+
+The estimation stack is instrumented end to end — estimator
+construction and queries (:mod:`repro.core.base`), the planner
+(:mod:`repro.db.planner`), the experiment harness
+(:mod:`repro.experiments`) and the online aggregation stream
+(:mod:`repro.online`) all report into one process-global
+:class:`Telemetry` object.  Telemetry is **off by default** and the
+disabled path is a single attribute check, so the instrumented code
+pays near-zero overhead until someone opts in::
+
+    from repro import telemetry
+
+    with telemetry.session(trace_memory=False) as t:
+        est = estimators.kernel(sample, domain)
+        est.selectivity(10.0, 20.0)
+    print(t.render_spans())          # span tree with wall-clock timings
+    print(t.snapshot()["metrics"])   # counters + value histograms
+
+Metric names are dotted, lowercase, ``subsystem.noun[.verb]``
+(``estimator.build``, ``planner.estimate``, ``harness.experiment``,
+``online.batch`` — see DESIGN.md §"Telemetry conventions").
+
+The CLI front end is ``python -m repro <exp> --trace`` (writes a JSON
+run manifest under ``benchmarks/reports/manifests/``) and
+``python -m repro stats`` (aggregates existing manifests).  See
+``docs/OBSERVABILITY.md``.
+"""
+
+from repro.telemetry.metrics import MetricsRegistry, ValueSummary
+from repro.telemetry.spans import SpanRecord
+from repro.telemetry.runtime import (
+    Telemetry,
+    get_telemetry,
+    set_telemetry,
+    session,
+)
+from repro.telemetry.manifest import (
+    MANIFEST_SCHEMA,
+    aggregate_manifests,
+    build_manifest,
+    load_manifests,
+    manifest_dir,
+    write_manifest,
+)
+from repro.telemetry.bench import BenchmarkExporter
+
+__all__ = [
+    "BenchmarkExporter",
+    "MANIFEST_SCHEMA",
+    "MetricsRegistry",
+    "SpanRecord",
+    "Telemetry",
+    "ValueSummary",
+    "aggregate_manifests",
+    "build_manifest",
+    "get_telemetry",
+    "load_manifests",
+    "manifest_dir",
+    "session",
+    "set_telemetry",
+    "write_manifest",
+]

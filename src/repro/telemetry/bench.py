@@ -1,0 +1,107 @@
+"""Benchmark-timing export: the machine-readable perf trajectory.
+
+``benchmarks/test_perf_*.py`` measure what a database system pays for
+each estimator (ANALYZE-time build, optimization-time query batches).
+:class:`BenchmarkExporter` collects those timings during a pytest
+session and merges them into a JSON file — ``BENCH_perf.json`` at the
+repository root — so successive PRs accumulate a comparable perf
+trajectory instead of throwing the numbers away with the terminal
+scrollback.
+
+The file maps ``<group>.<name>`` to summary stats::
+
+    {
+      "schema": "repro.telemetry.bench/v1",
+      "updated_unix": 1754480000.0,
+      "benchmarks": {
+        "perf_build.kernel_ns": {"mean_s": ..., "min_s": ..., ...}
+      }
+    }
+
+Re-running a subset of the benchmarks only overwrites the entries it
+measured; everything else is preserved.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Mapping
+
+#: Schema identifier embedded in the export file.
+BENCH_SCHEMA = "repro.telemetry.bench/v1"
+
+
+def _stat(stats: object, attribute: str) -> float | None:
+    """Pull one numeric attribute off a pytest-benchmark stats object."""
+    value = getattr(stats, attribute, None)
+    try:
+        return None if value is None else float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+class BenchmarkExporter:
+    """Accumulates benchmark timings and merges them into a JSON file."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, dict[str, object]] = {}
+
+    def record(self, group: str, name: str, stats: object) -> None:
+        """Record one benchmark's timing stats under ``group.name``.
+
+        ``stats`` is a ``pytest-benchmark`` ``Stats`` object (or
+        anything with ``mean``/``min``/``max``/``stddev``/``rounds``
+        attributes); missing attributes are simply omitted.
+        """
+        entry: dict[str, object] = {}
+        for attribute, key in (
+            ("mean", "mean_s"),
+            ("min", "min_s"),
+            ("max", "max_s"),
+            ("stddev", "stddev_s"),
+            ("median", "median_s"),
+        ):
+            value = _stat(stats, attribute)
+            if value is not None:
+                entry[key] = value
+        rounds = getattr(stats, "rounds", None)
+        if rounds is not None:
+            entry["rounds"] = int(rounds)
+        self._entries[f"{group}.{name}"] = entry
+
+    def record_seconds(self, group: str, name: str, seconds: float) -> None:
+        """Record a single hand-timed measurement."""
+        self._entries[f"{group}.{name}"] = {"mean_s": float(seconds), "rounds": 1}
+
+    @property
+    def entries(self) -> Mapping[str, Mapping[str, object]]:
+        """Everything recorded so far."""
+        return dict(self._entries)
+
+    def export(self, path: pathlib.Path) -> pathlib.Path | None:
+        """Merge the recorded entries into the JSON file at ``path``.
+
+        Returns the path, or ``None`` when nothing was recorded (the
+        file is left untouched so partial pytest runs don't erase it).
+        """
+        if not self._entries:
+            return None
+        path = pathlib.Path(path)
+        merged: dict[str, object] = {}
+        if path.exists():
+            try:
+                existing = json.loads(path.read_text())
+                if isinstance(existing, dict) and existing.get("schema") == BENCH_SCHEMA:
+                    merged = dict(existing.get("benchmarks", {}))
+            except (OSError, json.JSONDecodeError):
+                merged = {}
+        merged.update(self._entries)
+        payload = {
+            "schema": BENCH_SCHEMA,
+            "updated_unix": time.time(),
+            "benchmarks": {key: merged[key] for key in sorted(merged)},
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path

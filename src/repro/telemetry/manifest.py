@@ -1,0 +1,196 @@
+"""Run manifests: one JSON record per traced experiment run.
+
+A manifest captures everything needed to interpret (or learn from) an
+experiment run after the fact: the dataset/config/seed, the error
+metrics the run produced, and the telemetry snapshot — per-estimator
+build/query span timings, counters, value histograms.  Query-driven
+estimation work (feedback histograms, learned selectivity models)
+consumes exactly this stream.
+
+Manifests live under ``benchmarks/reports/manifests/`` by default; the
+``REPRO_MANIFEST_DIR`` environment variable overrides the location
+(used by tests and CI).  ``python -m repro stats`` aggregates whatever
+is there.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import platform
+import time
+from typing import TYPE_CHECKING, Iterable, Mapping
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.experiments.harness import ExperimentConfig
+    from repro.experiments.reporting import FigureResult
+    from repro.telemetry.runtime import Telemetry
+
+#: Schema identifier embedded in every manifest.
+MANIFEST_SCHEMA = "repro.telemetry.manifest/v1"
+
+#: Environment variable overriding the manifest directory.
+MANIFEST_DIR_ENV = "REPRO_MANIFEST_DIR"
+
+
+def _default_manifest_dir() -> pathlib.Path:
+    """``<repo>/benchmarks/reports/manifests`` when run from a checkout."""
+    root = pathlib.Path(__file__).resolve().parents[3]
+    if (root / "benchmarks").is_dir():
+        return root / "benchmarks" / "reports" / "manifests"
+    return pathlib.Path.cwd() / "benchmarks" / "reports" / "manifests"
+
+
+def manifest_dir() -> pathlib.Path:
+    """Where manifests are written/read (honours ``REPRO_MANIFEST_DIR``)."""
+    override = os.environ.get(MANIFEST_DIR_ENV)
+    if override:
+        return pathlib.Path(override)
+    return _default_manifest_dir()
+
+
+def to_jsonable(value):
+    """Recursively convert numpy scalars/arrays and mappings to JSON types."""
+    if isinstance(value, (np.floating, np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, Mapping):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    return value
+
+
+def build_manifest(
+    experiment: str,
+    result: "FigureResult",
+    config: "ExperimentConfig",
+    telemetry: "Telemetry",
+    *,
+    duration_seconds: float | None = None,
+) -> dict[str, object]:
+    """Assemble the manifest dict for one completed experiment run."""
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "experiment": experiment,
+        "figure_id": result.figure_id,
+        "title": result.title,
+        "created_unix": time.time(),
+        "created_iso": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "config": to_jsonable(dataclasses.asdict(config)),
+        "duration_seconds": duration_seconds,
+        "rows": [to_jsonable(dict(row)) for row in result.rows],
+        "notes": result.notes,
+        "telemetry": to_jsonable(telemetry.snapshot()),
+    }
+
+
+def write_manifest(
+    manifest: Mapping[str, object],
+    directory: pathlib.Path | None = None,
+) -> pathlib.Path:
+    """Write one manifest as pretty-printed JSON; returns the path.
+
+    File names are ``<experiment>-<unix-millis>.json`` so repeated runs
+    of the same experiment accumulate instead of overwriting.
+    """
+    directory = manifest_dir() if directory is None else pathlib.Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stamp = int(float(manifest.get("created_unix", time.time())) * 1000)
+    path = directory / f"{manifest.get('experiment', 'run')}-{stamp}.json"
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_manifests(directory: pathlib.Path | None = None) -> list[dict[str, object]]:
+    """Load every readable manifest JSON in ``directory``, oldest first.
+
+    Files that fail to parse or carry a foreign schema are skipped —
+    the directory is a drop box, not a database.
+    """
+    directory = manifest_dir() if directory is None else pathlib.Path(directory)
+    if not directory.is_dir():
+        return []
+    manifests = []
+    for path in sorted(directory.glob("*.json")):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(data, dict) or data.get("schema") != MANIFEST_SCHEMA:
+            continue
+        data["_path"] = str(path)
+        manifests.append(data)
+    manifests.sort(key=lambda m: m.get("created_unix", 0.0))
+    return manifests
+
+
+def _error_columns(rows: Iterable[Mapping[str, object]]) -> dict[str, list[float]]:
+    """Collect float-valued columns (the error metrics) across rows."""
+    columns: dict[str, list[float]] = {}
+    for row in rows:
+        for key, value in row.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                columns.setdefault(str(key), []).append(float(value))
+    return columns
+
+
+def aggregate_manifests(
+    directory: pathlib.Path | None = None,
+) -> list[dict[str, object]]:
+    """Aggregate manifests into one summary row per experiment.
+
+    Each row reports how often the experiment ran, the latest run's
+    wall-clock, total build/query span time in the latest run, and the
+    mean of the latest run's error columns — the at-a-glance trajectory
+    ``python -m repro stats`` prints.
+    """
+    by_experiment: dict[str, list[dict[str, object]]] = {}
+    for manifest in load_manifests(directory):
+        by_experiment.setdefault(str(manifest.get("experiment")), []).append(manifest)
+
+    rows = []
+    for experiment in sorted(by_experiment):
+        runs = by_experiment[experiment]
+        latest = runs[-1]
+        snapshot = latest.get("telemetry", {})
+        spans = snapshot.get("spans", {}).get("by_name", {})
+        counters = snapshot.get("metrics", {}).get("counters", {})
+        values = snapshot.get("metrics", {}).get("values", {})
+        build = spans.get("estimator.build", {})
+        query_seconds = sum(
+            summary.get("total", 0.0)
+            for name, summary in values.items()
+            if name.startswith("estimator.query.seconds")
+        )
+        errors = _error_columns(latest.get("rows", []))
+        mre_columns = {
+            name: values for name, values in errors.items() if "MRE" in name
+        } or errors
+        mean_error = (
+            sum(sum(v) for v in mre_columns.values())
+            / max(sum(len(v) for v in mre_columns.values()), 1)
+            if mre_columns
+            else float("nan")
+        )
+        rows.append(
+            {
+                "experiment": experiment,
+                "runs": len(runs),
+                "last run": str(latest.get("created_iso", "?")),
+                "duration [s]": round(float(latest.get("duration_seconds") or 0.0), 3),
+                "builds": int(counters.get("estimator.build", build.get("count", 0))),
+                "build time [s]": round(float(build.get("total_s", 0.0)), 3),
+                "queries": int(counters.get("estimator.query", 0)),
+                "query time [s]": round(float(query_seconds), 3),
+                "mean error": round(mean_error, 4) if mean_error == mean_error else "-",
+            }
+        )
+    return rows

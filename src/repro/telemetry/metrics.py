@@ -1,0 +1,130 @@
+"""Counters, timers and value histograms with percentile summaries.
+
+:class:`MetricsRegistry` is deliberately small: two maps (monotonic
+counters, observed-value series) plus a timing context manager.  Raw
+observations are kept so percentiles are exact; the estimation
+workloads this instruments record at most a few thousand observations
+per name, so memory is not a concern.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from contextlib import contextmanager
+from typing import Iterator, Mapping
+
+#: Percentiles reported by :meth:`MetricsRegistry.summary`.
+PERCENTILES = (50.0, 90.0, 99.0)
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Linear-interpolation percentile of a pre-sorted list."""
+    if not ordered:
+        return math.nan
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclasses.dataclass(frozen=True)
+class ValueSummary:
+    """Summary statistics of one observed-value series."""
+
+    count: int
+    total: float
+    mean: float
+    min: float
+    max: float
+    p50: float
+    p90: float
+    p99: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict rendering (JSON-friendly)."""
+        return dataclasses.asdict(self)
+
+
+class MetricsRegistry:
+    """Named counters and observed-value series.
+
+    Counters answer "how many times" (``inc``); value series answer
+    "how large / how long" (``observe``, ``time``) and summarize to
+    count/total/mean/min/max and the :data:`PERCENTILES`.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._values: dict[str, list[float]] = {}
+
+    # -- recording ----------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] = self._counters.get(name, 0.0) + float(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        """Append one observation to the value series ``name``."""
+        self._values.setdefault(name, []).append(float(value))
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Observe the wall-clock duration of the ``with`` body (seconds)."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
+    # -- reading ------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def values(self, name: str) -> tuple[float, ...]:
+        """Raw observations of series ``name`` (empty if unknown)."""
+        return tuple(self._values.get(name, ()))
+
+    def summary(self, name: str) -> ValueSummary:
+        """Summary statistics of series ``name``.
+
+        Raises
+        ------
+        KeyError
+            If nothing was ever observed under ``name``.
+        """
+        series = self._values.get(name)
+        if not series:
+            raise KeyError(f"no observations recorded under {name!r}")
+        ordered = sorted(series)
+        return ValueSummary(
+            count=len(ordered),
+            total=float(sum(ordered)),
+            mean=float(sum(ordered) / len(ordered)),
+            min=ordered[0],
+            max=ordered[-1],
+            p50=_percentile(ordered, 50.0),
+            p90=_percentile(ordered, 90.0),
+            p99=_percentile(ordered, 99.0),
+        )
+
+    def snapshot(self) -> dict[str, Mapping[str, object]]:
+        """Everything recorded, as plain nested dicts."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "values": {
+                name: self.summary(name).as_dict()
+                for name in sorted(self._values)
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop all counters and observations."""
+        self._counters.clear()
+        self._values.clear()

@@ -1,0 +1,232 @@
+"""The process-global, swappable :class:`Telemetry` object.
+
+One ``Telemetry`` instance owns a :class:`~repro.telemetry.metrics.MetricsRegistry`
+and a stack of open :class:`~repro.telemetry.spans.SpanRecord` spans.
+The module-level instance returned by :func:`get_telemetry` is
+**disabled by default**: ``span()`` hands back a shared null context
+manager and instrumented call sites guard every recording with
+``telemetry.enabled``, so the cost of shipping instrumentation is one
+attribute check per call.
+
+Swap the global with :func:`set_telemetry`, or use the
+:func:`session` context manager which installs an enabled instance and
+restores the previous one on exit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import tracemalloc
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import SpanRecord
+
+
+class _NullSpan:
+    """Reusable no-op context manager for disabled telemetry."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager driving one span's lifecycle on a telemetry stack."""
+
+    __slots__ = ("_telemetry", "_record")
+
+    def __init__(self, telemetry: "Telemetry", record: SpanRecord) -> None:
+        self._telemetry = telemetry
+        self._record = record
+
+    def __enter__(self) -> SpanRecord:
+        self._telemetry._open(self._record)
+        return self._record
+
+    def __exit__(self, *exc_info) -> bool:
+        self._telemetry._close(self._record)
+        return False
+
+
+class Telemetry:
+    """Metrics + tracing facade for one measurement session.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False`` (the default for the process-global instance)
+        every recording entry point is a no-op.
+    trace_memory:
+        Capture ``tracemalloc`` peak memory per span.  Starts
+        ``tracemalloc`` on first use; noticeably slows allocation-heavy
+        code, so it is opt-in on top of tracing.
+    """
+
+    def __init__(self, enabled: bool = True, trace_memory: bool = False) -> None:
+        self.enabled = bool(enabled)
+        self.trace_memory = bool(trace_memory)
+        self.metrics = MetricsRegistry()
+        self._stack: list[SpanRecord] = []
+        self._roots: list[SpanRecord] = []
+        self._started_memory = False
+
+    # -- spans --------------------------------------------------------
+
+    def span(self, name: str, **tags: str):
+        """Open a traced region; records wall-clock and nesting.
+
+        Returns a context manager; when telemetry is disabled it is a
+        shared no-op object and nothing is recorded.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        record = SpanRecord(name=name, tags={k: str(v) for k, v in tags.items()})
+        return _SpanContext(self, record)
+
+    def _open(self, record: SpanRecord) -> None:
+        if self.trace_memory:
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._started_memory = True
+            tracemalloc.reset_peak()
+        record.start = time.perf_counter()
+        self._stack.append(record)
+
+    def _close(self, record: SpanRecord) -> None:
+        record.duration = time.perf_counter() - record.start
+        if self.trace_memory and tracemalloc.is_tracing():
+            record.memory_peak = tracemalloc.get_traced_memory()[1]
+        # Close any nested spans left open by an exception unwinding
+        # through them, then detach this record from the stack.
+        while self._stack and self._stack[-1] is not record:
+            dangling = self._stack.pop()
+            if dangling.duration is None:
+                dangling.duration = time.perf_counter() - dangling.start
+        if self._stack and self._stack[-1] is record:
+            self._stack.pop()
+        if self._stack:
+            self._stack[-1].children.append(record)
+        else:
+            self._roots.append(record)
+        self.metrics.observe(f"span.{record.name}", record.duration)
+
+    @property
+    def current_span(self) -> SpanRecord | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def in_span(self, name: str) -> bool:
+        """Whether a span named ``name`` is currently open."""
+        return any(record.name == name for record in self._stack)
+
+    @property
+    def roots(self) -> tuple[SpanRecord, ...]:
+        """Completed top-level spans, in completion order."""
+        return tuple(self._roots)
+
+    def spans_by_name(self, name: str) -> tuple[SpanRecord, ...]:
+        """All completed spans named ``name``, anywhere in the forest."""
+        return tuple(
+            record
+            for root in self._roots
+            for record in root.iter_all()
+            if record.name == name
+        )
+
+    def render_spans(self) -> str:
+        """Text rendering of the completed span forest."""
+        if not self._roots:
+            return "(no spans recorded)"
+        return "\n".join(root.render() for root in self._roots)
+
+    # -- export -------------------------------------------------------
+
+    def snapshot(self) -> dict[str, object]:
+        """Everything recorded so far as plain nested dicts."""
+        by_name: dict[str, dict[str, float]] = {}
+        for root in self._roots:
+            for record in root.iter_all():
+                if record.duration is None:
+                    continue
+                agg = by_name.setdefault(
+                    record.name, {"count": 0, "total_s": 0.0, "max_s": 0.0}
+                )
+                agg["count"] += 1
+                agg["total_s"] += record.duration
+                agg["max_s"] = max(agg["max_s"], record.duration)
+        return {
+            "enabled": self.enabled,
+            "trace_memory": self.trace_memory,
+            "metrics": self.metrics.snapshot(),
+            "spans": {
+                "by_name": {name: by_name[name] for name in sorted(by_name)},
+                "tree": [root.as_dict() for root in self._roots],
+            },
+        }
+
+    def to_json(self, **json_kwargs) -> str:
+        """JSON rendering of :meth:`snapshot`."""
+        json_kwargs.setdefault("indent", 2)
+        json_kwargs.setdefault("sort_keys", True)
+        return json.dumps(self.snapshot(), **json_kwargs)
+
+    def reset(self) -> None:
+        """Drop all recorded spans and metrics (keeps the flags)."""
+        self.metrics.reset()
+        self._stack.clear()
+        self._roots.clear()
+
+    def close(self) -> None:
+        """Stop ``tracemalloc`` if this instance started it."""
+        if self._started_memory and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._started_memory = False
+
+
+#: The process-global instance: disabled, so instrumented code is a
+#: near-no-op until a caller opts in.
+_GLOBAL = Telemetry(enabled=False)
+
+
+def get_telemetry() -> Telemetry:
+    """The current process-global telemetry object."""
+    return _GLOBAL
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as the process-global object.
+
+    Returns the previously installed instance so callers can restore
+    it (prefer :func:`session` which does this automatically).
+    """
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = telemetry
+    return previous
+
+
+@contextmanager
+def session(trace_memory: bool = False) -> Iterator[Telemetry]:
+    """Run the ``with`` body under a fresh, enabled telemetry object.
+
+    The previous global instance is restored on exit; the session's
+    instance is yielded so the caller can snapshot or render it after
+    the block finishes.
+    """
+    telemetry = Telemetry(enabled=True, trace_memory=trace_memory)
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)
+        telemetry.close()

@@ -1,0 +1,75 @@
+"""Tracing spans: nested wall-clock (and optional memory) records.
+
+A :class:`SpanRecord` is one timed region of code; nesting follows the
+dynamic call structure (``harness.experiment`` contains many
+``estimator.build`` spans which may contain further builds of inner
+estimators).  Records are plain data — the lifecycle (start/stop,
+stack maintenance) lives in :class:`repro.telemetry.runtime.Telemetry`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Mapping
+
+
+@dataclasses.dataclass
+class SpanRecord:
+    """One completed (or in-flight) traced region.
+
+    Attributes
+    ----------
+    name:
+        Dotted span name (``estimator.build``, ``planner.plan``, ...).
+    tags:
+        Small str→str map qualifying the span (estimator class,
+        dataset name, ...).
+    start:
+        ``time.perf_counter()`` at entry (process-relative seconds).
+    duration:
+        Wall-clock seconds; ``None`` while the span is still open.
+    memory_peak:
+        Peak ``tracemalloc`` bytes observed inside the span when
+        memory tracing is on, else ``None``.  Approximate under
+        nesting: a child resets the shared peak watermark.
+    children:
+        Spans opened (and closed) while this one was open.
+    """
+
+    name: str
+    tags: Mapping[str, str] = dataclasses.field(default_factory=dict)
+    start: float = 0.0
+    duration: float | None = None
+    memory_peak: int | None = None
+    children: list["SpanRecord"] = dataclasses.field(default_factory=list)
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly nested rendering."""
+        out: dict[str, object] = {"name": self.name}
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        out["duration_s"] = self.duration
+        if self.memory_peak is not None:
+            out["memory_peak_bytes"] = self.memory_peak
+        if self.children:
+            out["children"] = [child.as_dict() for child in self.children]
+        return out
+
+    def iter_all(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_all()
+
+    def render(self, indent: int = 0) -> str:
+        """One-line-per-span indented tree rendering."""
+        label = self.name
+        if self.tags:
+            label += "[" + ", ".join(f"{k}={v}" for k, v in self.tags.items()) + "]"
+        duration = "..." if self.duration is None else f"{self.duration * 1e3:.3f} ms"
+        line = f"{'  ' * indent}{label}  {duration}"
+        if self.memory_peak is not None:
+            line += f"  peak={self.memory_peak / 1024:.1f} KiB"
+        lines = [line]
+        lines.extend(child.render(indent + 1) for child in self.children)
+        return "\n".join(lines)

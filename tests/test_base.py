@@ -42,6 +42,40 @@ class TestValidateSample:
         assert out.size == 2
 
 
+class TestValidateSampleErrorPaths:
+    """Exhaustive error-path coverage of validate_sample."""
+
+    def test_rejects_scalar_input(self):
+        with pytest.raises(InvalidSampleError):
+            validate_sample(np.float64(1.0))
+
+    def test_rejects_inf_only(self):
+        with pytest.raises(InvalidSampleError, match="NaN or infinite"):
+            validate_sample([np.inf, 1.0])
+
+    def test_rejects_negative_inf(self):
+        with pytest.raises(InvalidSampleError, match="NaN or infinite"):
+            validate_sample([-np.inf])
+
+    def test_rejects_below_domain(self):
+        with pytest.raises(InvalidSampleError, match="outside the domain"):
+            validate_sample([-0.5, 0.5], Interval(0.0, 1.0))
+
+    def test_rejects_above_domain(self):
+        with pytest.raises(InvalidSampleError, match="outside the domain"):
+            validate_sample([0.5, 1.5], Interval(0.0, 1.0))
+
+    def test_error_message_reports_observed_range(self):
+        with pytest.raises(InvalidSampleError, match=r"\[-2.0, 3.0\]"):
+            validate_sample([-2.0, 3.0], Interval(0.0, 1.0))
+
+    def test_errors_inherit_estimator_error(self):
+        from repro.core.base import EstimatorError
+
+        assert issubclass(InvalidSampleError, EstimatorError)
+        assert issubclass(InvalidQueryError, EstimatorError)
+
+
 class TestValidateQuery:
     def test_valid_range(self):
         assert validate_query(1, 2.5) == (1.0, 2.5)
@@ -53,9 +87,31 @@ class TestValidateQuery:
         with pytest.raises(InvalidQueryError):
             validate_query(2.0, 1.0)
 
+    def test_rejects_barely_inverted(self):
+        with pytest.raises(InvalidQueryError, match="empty"):
+            validate_query(1.0 + 1e-9, 1.0)
+
     def test_rejects_nan(self):
         with pytest.raises(InvalidQueryError):
             validate_query(np.nan, 1.0)
+
+    def test_rejects_nan_upper_endpoint(self):
+        with pytest.raises(InvalidQueryError, match="finite"):
+            validate_query(1.0, np.nan)
+
+    def test_rejects_both_endpoints_nan(self):
+        with pytest.raises(InvalidQueryError, match="finite"):
+            validate_query(np.nan, np.nan)
+
+    def test_rejects_infinite_endpoints(self):
+        with pytest.raises(InvalidQueryError, match="finite"):
+            validate_query(-np.inf, 1.0)
+        with pytest.raises(InvalidQueryError, match="finite"):
+            validate_query(0.0, np.inf)
+
+    def test_returns_plain_floats(self):
+        a, b = validate_query(np.float32(1.0), np.int64(2))
+        assert type(a) is float and type(b) is float
 
 
 class _Half(SelectivityEstimator):

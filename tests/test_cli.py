@@ -28,6 +28,28 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_trace_writes_manifest_and_prints_spans(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
+        assert main(["fig04", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry spans" in out
+        assert "harness.experiment" in out
+        manifests = list(tmp_path.glob("fig04-*.json"))
+        assert len(manifests) == 1
+
+    def test_stats_aggregates_manifests(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
+        assert main(["fig04", "--trace"]) == 0
+        capsys.readouterr()
+        assert main(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "fig04" in out and "builds" in out
+
+    def test_stats_with_no_manifests(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
+        assert main(["stats"]) == 0
+        assert "no run manifests" in capsys.readouterr().out
+
     def test_every_registered_experiment_is_runnable(self):
         """Registry sanity: each entry has a run(config) callable."""
         for module in EXPERIMENTS.values():

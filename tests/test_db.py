@@ -181,6 +181,25 @@ class TestPlanner:
         text = plan.explain()
         assert "points" in text and "rows~" in text
 
+    def test_explain_omits_rejected_without_alternatives(self):
+        plan = Plan("t", "seq scan", 10.0, 10.0, alternatives=())
+        text = plan.explain()
+        assert "rejected" not in text
+        assert text.endswith(")")
+
+    def test_explain_analyze_shows_provenance_and_timings(self, table, catalog):
+        plan = Planner(catalog).plan(table, [RangePredicate("z", 0.0, 250.0)])
+        analyzed = plan.explain(analyze=True)
+        assert "estimates:" in analyzed
+        assert "column(z)" in analyzed
+        assert "timings:" in analyzed and "estimate=" in analyzed
+
+    def test_joint_provenance_named(self, table, catalog):
+        plan = Planner(catalog).plan(
+            table, [RangePredicate("x", 300.0, 500.0), RangePredicate("y", 300.0, 500.0)]
+        )
+        assert any("joint(x,y)" in entry for entry in plan.provenance)
+
     def test_empty_predicates_full_selectivity(self, table, catalog):
         assert Planner(catalog).selectivity(table, []) == 1.0
 

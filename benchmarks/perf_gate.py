@@ -1,0 +1,134 @@
+"""Perf-regression gate over ``BENCH_perf.json``.
+
+Compares a freshly measured benchmark export against the committed
+baseline and fails (exit status 1) when any shared timing entry
+regressed by more than the threshold (default: 25 % on the median).
+
+Usage::
+
+    # 1. preserve the committed numbers before benchmarks rewrite them
+    cp BENCH_perf.json /tmp/bench_baseline.json
+    # 2. re-measure (rewrites BENCH_perf.json in place)
+    PYTHONPATH=src python -m pytest -q benchmarks/test_perf_batch_serving.py
+    # 3. compare
+    python benchmarks/perf_gate.py /tmp/bench_baseline.json BENCH_perf.json \
+        --prefix perf_batch
+
+Only entries present in *both* files are compared (partial benchmark
+runs leave the untouched groups alone); per-entry comparison uses
+``median_s`` and falls back to ``mean_s`` for single-round timings.
+Entries whose name ends in ``_x`` are ratios (higher is better), not
+timings, and are skipped.
+
+Updating the baseline
+---------------------
+When a slowdown is intentional (an accuracy fix that costs time, a
+protocol change), re-run the benchmarks locally and commit the
+regenerated ``BENCH_perf.json`` — the gate always compares against the
+committed file, so committing new numbers *is* the baseline update.
+To make the gate itself stand down (e.g. on the very CI run that
+commits the new baseline), set ``REPRO_PERF_BASELINE_UPDATE=1``; the
+gate then reports the deltas but always exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+#: Largest tolerated current/baseline ratio before the gate fails.
+DEFAULT_THRESHOLD = 1.25
+
+#: Schema identifier the gate insists on (see repro.telemetry.bench).
+BENCH_SCHEMA = "repro.telemetry.bench/v1"
+
+
+def load_benchmarks(path: pathlib.Path) -> dict[str, dict[str, float]]:
+    """The ``benchmarks`` map of one export file (schema-checked)."""
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
+        raise SystemExit(f"{path}: not a {BENCH_SCHEMA!r} export")
+    return payload.get("benchmarks", {})
+
+
+def representative_seconds(entry: dict[str, float]) -> float | None:
+    """The timing a gate comparison should use for one entry."""
+    for key in ("median_s", "mean_s"):
+        value = entry.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            return float(value)
+    return None
+
+
+def compare(
+    baseline: dict[str, dict[str, float]],
+    current: dict[str, dict[str, float]],
+    prefixes: tuple[str, ...],
+    threshold: float,
+) -> list[tuple[str, float, float, float]]:
+    """Regressions as ``(name, baseline_s, current_s, ratio)`` rows."""
+    regressions = []
+    for name in sorted(baseline):
+        if prefixes and not any(name.startswith(p) for p in prefixes):
+            continue
+        if name.endswith("_x") or name not in current:
+            continue
+        before = representative_seconds(baseline[name])
+        after = representative_seconds(current[name])
+        if before is None or after is None:
+            continue
+        ratio = after / before
+        marker = "REGRESSED" if ratio > threshold else "ok"
+        print(f"  {name}: {before * 1e3:.3f} ms -> {after * 1e3:.3f} ms "
+              f"({ratio:.2f}x) {marker}")
+        if ratio > threshold:
+            regressions.append((name, before, after, ratio))
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=pathlib.Path, help="committed export")
+    parser.add_argument("current", type=pathlib.Path, help="freshly measured export")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"failing current/baseline ratio (default {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--prefix",
+        action="append",
+        default=[],
+        help="only gate entries with this prefix (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    regressions = compare(
+        load_benchmarks(args.baseline),
+        load_benchmarks(args.current),
+        tuple(args.prefix),
+        args.threshold,
+    )
+    if not regressions:
+        print("perf gate: no regressions beyond "
+              f"{(args.threshold - 1.0) * 100:.0f}%")
+        return 0
+    print(f"perf gate: {len(regressions)} entr{'y' if len(regressions) == 1 else 'ies'} "
+          f"regressed beyond {(args.threshold - 1.0) * 100:.0f}%:")
+    for name, before, after, ratio in regressions:
+        print(f"  {name}: {before * 1e3:.3f} ms -> {after * 1e3:.3f} ms ({ratio:.2f}x)")
+    if os.environ.get("REPRO_PERF_BASELINE_UPDATE") == "1":
+        print("REPRO_PERF_BASELINE_UPDATE=1: reporting only, not failing "
+              "(commit the regenerated BENCH_perf.json to update the baseline)")
+        return 0
+    print("intentional? commit the regenerated BENCH_perf.json "
+          "(or set REPRO_PERF_BASELINE_UPDATE=1 for this run)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import abc
 import functools
+import threading
 import time
 from typing import TYPE_CHECKING
 
@@ -105,6 +106,41 @@ def validate_query(a: float, b: float) -> tuple[float, float]:
     return a, b
 
 
+def validate_query_batch(
+    a: np.ndarray, b: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a whole batch of query ranges up front.
+
+    The batch analogue of :func:`validate_query`: endpoint arrays must
+    have matching shapes, finite values, and ``a <= b`` elementwise.
+    Validation happens *before* any evaluation work so a malformed
+    batch cannot fail halfway through with a misleading error type.
+
+    Returns
+    -------
+    tuple[numpy.ndarray, numpy.ndarray]
+        The endpoints as ``float64`` arrays.
+
+    Raises
+    ------
+    InvalidQueryError
+        If shapes differ, any endpoint is non-finite, or any range is
+        empty (``a > b``).
+    """
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise InvalidQueryError(f"endpoint arrays differ in shape: {a.shape} vs {b.shape}")
+    if not (np.all(np.isfinite(a)) and np.all(np.isfinite(b))):
+        raise InvalidQueryError("query endpoints must be finite")
+    bad = np.ravel(a > b)
+    if bad.any():
+        j = int(np.flatnonzero(bad)[0])
+        qa, qb = np.ravel(a)[j], np.ravel(b)[j]
+        raise InvalidQueryError(f"query range is empty: a={qa} > b={qb} (batch index {j})")
+    return a, b
+
+
 # --------------------------------------------------------------------
 # Telemetry instrumentation (see docs/OBSERVABILITY.md).
 #
@@ -118,8 +154,17 @@ def validate_query(a: float, b: float) -> tuple[float, float]:
 #: Re-entrancy depth of query instrumentation.  A batch call that
 #: falls back to the scalar loop (or an estimator delegating to inner
 #: estimators, like the hybrid) must be recorded once, at the
-#: outermost level.
-_query_depth = 0
+#: outermost level.  Thread-local so concurrent harness workers track
+#: their own depth.
+_query_state = threading.local()
+
+
+def _depth() -> int:
+    return getattr(_query_state, "depth", 0)
+
+
+def _set_depth(value: int) -> None:
+    _query_state.depth = value
 
 
 def _observe_smoothing(telemetry, estimator) -> None:
@@ -155,17 +200,16 @@ def _wrap_build(fn):
 def _wrap_selectivity(fn):
     @functools.wraps(fn)
     def selectivity(self, a, b):
-        global _query_depth
         telemetry = get_telemetry()
-        if not telemetry.enabled or _query_depth:
+        if not telemetry.enabled or _depth():
             return fn(self, a, b)
         cls_name = type(self).__name__
-        _query_depth += 1
+        _set_depth(_depth() + 1)
         start = time.perf_counter()
         try:
             result = fn(self, a, b)
         finally:
-            _query_depth -= 1
+            _set_depth(_depth() - 1)
         elapsed = time.perf_counter() - start
         telemetry.metrics.inc("estimator.query")
         telemetry.metrics.observe(f"estimator.query.seconds.{cls_name}", elapsed)
@@ -179,17 +223,16 @@ def _wrap_selectivity(fn):
 def _wrap_selectivities(fn):
     @functools.wraps(fn)
     def selectivities(self, a, b):
-        global _query_depth
         telemetry = get_telemetry()
-        if not telemetry.enabled or _query_depth:
+        if not telemetry.enabled or _depth():
             return fn(self, a, b)
         cls_name = type(self).__name__
-        _query_depth += 1
+        _set_depth(_depth() + 1)
         try:
             with telemetry.span("estimator.query_batch", **{"class": cls_name}) as record:
                 result = fn(self, a, b)
         finally:
-            _query_depth -= 1
+            _set_depth(_depth() - 1)
         size = int(np.asarray(a).size)
         telemetry.metrics.inc("estimator.query", size)
         telemetry.metrics.inc("estimator.query_batch")
@@ -268,12 +311,11 @@ class SelectivityEstimator(abc.ABC):
         """Vectorized :meth:`selectivity` over parallel endpoint arrays.
 
         The default implementation loops; estimators override it when a
-        faster vectorized path exists.
+        faster vectorized path exists.  The whole batch is validated up
+        front (:func:`validate_query_batch`) so malformed queries fail
+        before any evaluation work.
         """
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
-        if a.shape != b.shape:
-            raise InvalidQueryError(f"endpoint arrays differ in shape: {a.shape} vs {b.shape}")
+        a, b = validate_query_batch(a, b)
         out = np.empty(a.shape, dtype=np.float64)
         flat_a, flat_b, flat_out = a.ravel(), b.ravel(), out.ravel()
         for i in range(flat_a.size):

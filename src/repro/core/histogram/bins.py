@@ -23,7 +23,12 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import DensityEstimator, InvalidSampleError, validate_query
+from repro.core.base import (
+    DensityEstimator,
+    InvalidSampleError,
+    validate_query,
+    validate_query_batch,
+)
 from repro.data.domain import Interval
 
 
@@ -165,8 +170,7 @@ class PiecewiseConstantDensity(DensityEstimator):
         return float(self.selectivities(np.array([a]), np.array([b]))[0])
 
     def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
+        a, b = validate_query_batch(a, b)
         result = self._bulk_cdf(b) - self._bulk_cdf(a)
         if self._point_positions.size:
             # Closed query range: a point mass at an endpoint counts fully.

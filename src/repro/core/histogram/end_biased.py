@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import DensityEstimator, InvalidSampleError, validate_query, validate_sample
+from repro.core.base import DensityEstimator, InvalidSampleError, validate_query, validate_query_batch, validate_sample
 from repro.data.domain import Interval
 
 
@@ -66,8 +66,7 @@ class EndBiasedHistogram(DensityEstimator):
         return float(self.selectivities(np.array([a]), np.array([b]))[0])
 
     def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
+        a, b = validate_query_batch(a, b)
         lo = np.clip(a, self._domain.low, self._domain.high)
         hi = np.clip(b, self._domain.low, self._domain.high)
         uniform_part = np.maximum(hi - lo, 0.0) * self._uniform_density

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import SelectivityEstimator, validate_query
+from repro.core.base import SelectivityEstimator, validate_query, validate_query_batch
 from repro.data.domain import Interval
 
 
@@ -36,8 +36,7 @@ class UniformEstimator(SelectivityEstimator):
         return self._domain.fraction(a, b)
 
     def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
+        a, b = validate_query_batch(a, b)
         lo = np.clip(a, self._domain.low, self._domain.high)
         hi = np.clip(b, self._domain.low, self._domain.high)
         return np.maximum(hi - lo, 0.0) / self._domain.width

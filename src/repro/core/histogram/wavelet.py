@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import DensityEstimator, InvalidSampleError, validate_query, validate_sample
+from repro.core.base import DensityEstimator, InvalidSampleError, validate_query, validate_query_batch, validate_sample
 from repro.data.domain import Interval
 
 #: Default dyadic grid resolution (must be a power of two).
@@ -163,8 +163,7 @@ class WaveletHistogram(DensityEstimator):
         return float(self.selectivities(np.array([a]), np.array([b]))[0])
 
     def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
+        a, b = validate_query_batch(a, b)
         return np.clip(self._cdf(b) - self._cdf(a), 0.0, 1.0)
 
     def density(self, x: np.ndarray) -> np.ndarray:

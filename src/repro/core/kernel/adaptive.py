@@ -29,6 +29,7 @@ from repro.core.base import (
     InvalidSampleError,
     validate_query,
     validate_sample,
+    validate_query_batch,
 )
 from repro.core.kernel.density import KernelDensity
 from repro.core.kernel.estimator import _validate_bandwidth
@@ -135,8 +136,7 @@ class AdaptiveKernelEstimator(DensityEstimator):
         return float(self.selectivities(np.array([a]), np.array([b]))[0])
 
     def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
+        a, b = validate_query_batch(a, b)
         if self._domain is not None:
             a = np.clip(a, self._domain.low, self._domain.high)
             b = np.clip(b, self._domain.low, self._domain.high)

@@ -32,14 +32,28 @@ primitive, derived by substituting ``v = (x - l)/h``, ``w = (X_i - l)/h``:
              + \\frac{3 w (2 + w)}{(1 + v)^2}
 
 with per-sample contribution ``P(v_hi; w) - P(max(v_lo, w - 1); w)``.
+
+Every query path here is batch-first: a query batch decomposes into
+its left-boundary, interior, and right-boundary segments, and each
+region evaluates all its segments at once through the same segmented
+window sums the interior fast path uses (no Python per-query loop).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import InvalidSampleError, validate_query, validate_sample
-from repro.core.kernel.estimator import KernelSelectivityEstimator, _validate_bandwidth
+from repro.core.base import (
+    InvalidSampleError,
+    validate_query,
+    validate_query_batch,
+    validate_sample,
+)
+from repro.core.kernel.estimator import (
+    KernelSelectivityEstimator,
+    _validate_bandwidth,
+    segment_window_sums,
+)
 from repro.core.kernel.functions import EPANECHNIKOV, KernelFunction, get_kernel
 from repro.data.domain import Interval
 
@@ -73,11 +87,15 @@ class ReflectionKernelEstimator(KernelSelectivityEstimator):
         self._domain = domain
         self._norm = int(values.size)
 
-    def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    def raw_selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         domain = self._domain
-        a = np.clip(np.asarray(a, dtype=np.float64), domain.low, domain.high)
-        b = np.clip(np.asarray(b, dtype=np.float64), domain.low, domain.high)
-        return super().selectivities(a, b)
+        a = np.clip(a, domain.low, domain.high)
+        b = np.clip(b, domain.low, domain.high)
+        return super().raw_selectivities(a, b)
+
+    def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a, b = validate_query_batch(a, b)
+        return np.clip(self.raw_selectivities(a, b), 0.0, 1.0)
 
     def density(self, x: np.ndarray) -> np.ndarray:
         """Reflected KDE; zero outside the domain."""
@@ -93,7 +111,7 @@ def _left_primitive(v: np.ndarray, w: np.ndarray) -> np.ndarray:
 
 
 def _left_region_mass(
-    v_lo: float, v_hi: float, w: np.ndarray
+    v_lo: np.ndarray, v_hi: np.ndarray, w: np.ndarray
 ) -> np.ndarray:
     """Per-sample boundary-kernel mass over ``v in [v_lo, v_hi]``.
 
@@ -129,7 +147,8 @@ class BoundaryKernelEstimator(KernelSelectivityEstimator):
     is replaced by the boundary kernel whose shape varies with the
     distance ``q`` to the edge; in the interior the ordinary kernel
     applies.  Selectivities are assembled from the exact primitives of
-    the three regions, so no numerical integration is involved.
+    the three regions, so no numerical integration is involved, and
+    all three regions evaluate their whole query batch at once.
 
     Only the Epanechnikov kernel is supported — the Simonoff–Dong
     family is constructed for it (paper §3.2.1).
@@ -156,96 +175,111 @@ class BoundaryKernelEstimator(KernelSelectivityEstimator):
             )
         super().__init__(sample, h, resolved, domain)
 
+    def raw_selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        domain, h = self._domain, self._h
+        flat_a = np.clip(np.ascontiguousarray(a.ravel()), domain.low, domain.high)
+        flat_b = np.clip(np.ascontiguousarray(b.ravel()), domain.low, domain.high)
+        left_edge = domain.low + h
+        right_edge = domain.high - h
+        # Left boundary region [low, low + h): mass in boundary units.
+        left = self._left_masses(
+            (flat_a - domain.low) / h,
+            (np.minimum(flat_b, left_edge) - domain.low) / h,
+        )
+        # Right boundary region (high - h, high]: mirror of the left.
+        right = self._right_masses(
+            (domain.high - flat_b) / h,
+            (domain.high - np.maximum(flat_a, right_edge)) / h,
+        )
+        # Interior region: the ordinary kernel applies unchanged.
+        lo = np.minimum(np.maximum(flat_a, left_edge), right_edge)
+        hi = np.maximum(np.minimum(flat_b, right_edge), lo)
+        interior = super().raw_selectivities(lo, hi)
+        return (left + interior + right).reshape(a.shape)
+
     def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        domain = self._domain
-        a = np.clip(np.asarray(a, dtype=np.float64), domain.low, domain.high)
-        b = np.clip(np.asarray(b, dtype=np.float64), domain.low, domain.high)
-        out = np.empty(np.broadcast(a, b).shape, dtype=np.float64)
-        flat_a, flat_b, flat_out = np.ravel(a), np.ravel(b), out.ravel()
-        # Fast path: queries entirely inside the interior region use
-        # the ordinary kernel everywhere, so the parent's vectorized
-        # evaluation applies as-is.  With workload-typical query sizes
-        # only a small minority touches a boundary region.
-        h = self._h
-        interior = (flat_a >= domain.low + h) & (flat_b <= domain.high - h)
-        if np.any(interior):
-            flat_out[interior] = super().selectivities(
-                flat_a[interior], flat_b[interior]
-            )
-        for j in np.flatnonzero(~interior):
-            flat_out[j] = self._one_query(flat_a[j], flat_b[j])
-        return np.clip(out, 0.0, 1.0)
+        a, b = validate_query_batch(a, b)
+        return np.clip(self.raw_selectivities(a, b), 0.0, 1.0)
 
     def selectivity(self, a: float, b: float) -> float:
         a, b = validate_query(a, b)
         return float(self.selectivities(np.array([a]), np.array([b]))[0])
 
-    def _one_query(self, a: float, b: float) -> float:
-        domain = self._domain
-        h = self._h
-        left_edge = domain.low + h
-        right_edge = domain.high - h
-        total = 0.0
-        # Left boundary region [low, low + h).
-        lo, hi = a, min(b, left_edge)
-        if lo < hi:
-            total += self._left_mass(lo, hi)
-        # Interior region [low + h, high - h]: ordinary kernel.
-        lo, hi = max(a, left_edge), min(b, right_edge)
-        if lo < hi:
-            total += float(super().selectivities(np.array([lo]), np.array([hi]))[0])
-        # Right boundary region (high - h, high]: mirror of the left.
-        lo, hi = max(a, right_edge), b
-        if lo < hi:
-            total += self._right_mass(lo, hi)
-        return total
+    def _left_masses(self, v_lo: np.ndarray, v_hi: np.ndarray) -> np.ndarray:
+        """Batched left-region boundary-kernel mass of ``[v_lo, v_hi]``.
 
-    def _left_mass(self, a: float, b: float) -> float:
-        """Boundary-kernel mass of ``[a, b]`` inside the left region."""
-        domain = self._domain
-        h = self._h
-        v_lo = (a - domain.low) / h
-        v_hi = (b - domain.low) / h
-        # Contributing samples: X < b + h  <=>  w < v_hi + 1.
+        Segment endpoints are in left-boundary units ``(x - low)/h``.
+        Contributing samples (``w < v_hi + 1``) form a prefix of the
+        sorted sample.  Zero-width segments — every query that does not
+        touch the region — get empty windows, so interior-only batches
+        pay one ``searchsorted`` call and nothing else.
+        """
+        domain, h = self._domain, self._h
+        v_lo = np.minimum(v_lo, v_hi)
         cutoff = domain.low + (v_hi + 1.0) * h
         hi_idx = np.searchsorted(self._sorted, cutoff, side="left")
-        w = (self._sorted[:hi_idx] - domain.low) / h
-        return float(_left_region_mass(v_lo, v_hi, w).sum()) / self._norm
+        hi_idx = np.where(v_hi > v_lo, hi_idx, 0)
+        sample = self._sorted
+        sums = segment_window_sums(
+            np.zeros(hi_idx.shape, dtype=np.intp),
+            hi_idx,
+            lambda pick, i: _left_region_mass(
+                pick(v_lo), pick(v_hi), (sample[i] - domain.low) / h
+            ),
+        )
+        return sums / self._norm
 
-    def _right_mass(self, a: float, b: float) -> float:
-        """Boundary-kernel mass of ``[a, b]`` inside the right region."""
-        domain = self._domain
-        h = self._h
-        # Mirror the coordinate system: x' = high - x.
-        v_lo = (domain.high - b) / h
-        v_hi = (domain.high - a) / h
+    def _right_masses(self, v_lo: np.ndarray, v_hi: np.ndarray) -> np.ndarray:
+        """Batched right-region mass; mirror image of :meth:`_left_masses`.
+
+        Endpoints are in mirrored units ``(high - x)/h``; contributing
+        samples form a *suffix* of the sorted sample.
+        """
+        domain, h = self._domain, self._h
+        n = self._sorted.size
+        v_lo = np.minimum(v_lo, v_hi)
         cutoff = domain.high - (v_hi + 1.0) * h
         lo_idx = np.searchsorted(self._sorted, cutoff, side="right")
-        w = (domain.high - self._sorted[lo_idx:]) / h
-        return float(_left_region_mass(v_lo, v_hi, w).sum()) / self._norm
+        lo_idx = np.where(v_hi > v_lo, lo_idx, n)
+        sample = self._sorted
+        sums = segment_window_sums(
+            lo_idx,
+            np.full(lo_idx.shape, n, dtype=np.intp),
+            lambda pick, i: _left_region_mass(
+                pick(v_lo), pick(v_hi), (domain.high - sample[i]) / h
+            ),
+        )
+        return sums / self._norm
 
     def density(self, x: np.ndarray) -> np.ndarray:
         """Pointwise estimate with the region-appropriate kernel."""
         x = np.atleast_1d(np.asarray(x, dtype=np.float64))
         domain = self._domain
         h = self._h
-        out = np.zeros(x.shape, dtype=np.float64)
-        flat_x, flat_out = x.ravel(), out.ravel()
-        interior = super().density(x).ravel()
-        for j, point in enumerate(flat_x):
-            if point < domain.low or point > domain.high:
-                flat_out[j] = 0.0
-            elif point < domain.low + h:
-                q = (point - domain.low) / h
-                t = (point - self._sorted) / h
-                flat_out[j] = boundary_kernel_pdf(t, q).sum() / (self._norm * h)
-            elif point > domain.high - h:
-                q = (domain.high - point) / h
-                t = (self._sorted - point) / h
-                flat_out[j] = boundary_kernel_pdf(t, q).sum() / (self._norm * h)
-            else:
-                flat_out[j] = interior[j]
-        return out
+        flat = np.ascontiguousarray(x.ravel())
+        interior = super().density(flat)
+        out = np.where(
+            (flat >= domain.low) & (flat <= domain.high), interior, 0.0
+        )
+        inside = (flat >= domain.low) & (flat <= domain.high)
+        left = (flat < domain.low + h) & inside
+        right = (flat > domain.high - h) & inside
+        # Boundary-region points only see samples within 2h of their
+        # edge (|t| <= 1 requires |x - X| <= h and x is within h of the
+        # edge), so the outer product is over a small prefix/suffix.
+        near_left = self._sorted[: np.searchsorted(self._sorted, domain.low + 2.0 * h, side="right")]
+        near_right = self._sorted[np.searchsorted(self._sorted, domain.high - 2.0 * h, side="left") :]
+        for mask, edge, sign, window in (
+            (left, domain.low, 1.0, near_left),
+            (right, domain.high, -1.0, near_right),
+        ):
+            if not np.any(mask):
+                continue
+            points = flat[mask]
+            q = sign * (points - edge) / h
+            t = sign * (points[:, None] - window[None, :]) / h
+            out[mask] = boundary_kernel_pdf(t, q[:, None]).sum(axis=1) / (self._norm * h)
+        return out.reshape(x.shape)
 
 
 #: Registry of boundary treatments accepted by the factory.

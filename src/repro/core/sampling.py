@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import SelectivityEstimator, validate_query, validate_sample
+from repro.core.base import SelectivityEstimator, validate_query, validate_query_batch, validate_sample
 from repro.data.domain import Interval
 
 
@@ -47,8 +47,7 @@ class SamplingEstimator(SelectivityEstimator):
         return float(hi - lo) / self._sorted.size
 
     def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
+        a, b = validate_query_batch(a, b)
         lo = np.searchsorted(self._sorted, a, side="left")
         hi = np.searchsorted(self._sorted, b, side="right")
         return (hi - lo) / self._sorted.size

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro import estimators
 from repro.core.base import InvalidQueryError, SelectivityEstimator
+from repro.db.cache import MISS, LRUCache
 from repro.db.table import Table
 from repro.multidim import KernelEstimator2D, plugin_bandwidths_2d
 
@@ -30,6 +31,25 @@ FAMILIES = {
     ),
     "hybrid": estimators.hybrid,
 }
+
+#: Process-wide ANALYZE result cache shared by all catalogs.  Keys are
+#: ``(table name, table fingerprint, family, sample size, seed, kind,
+#: columns...)`` so a statistic is reused only for identical data *and*
+#: identical build parameters; a table whose data changed has a new
+#: fingerprint and misses naturally, while :meth:`Catalog.invalidate`
+#: evicts explicitly.
+_STATISTICS_CACHE = LRUCache(capacity=256, name="statistics")
+
+
+def _seed_cache_key(seed) -> "tuple | None":
+    """Hashable cache key for a sampling seed, or ``None`` if the seed
+    cannot key a cache (``None`` / generator seeds draw fresh random
+    samples, so reusing a cached build would change semantics)."""
+    if seed is None:
+        return None
+    if isinstance(seed, (int, np.integer)):
+        return ("int", int(seed))
+    return None
 
 
 class Catalog:
@@ -56,6 +76,7 @@ class Catalog:
         self._column_stats: dict[tuple[str, str], SelectivityEstimator] = {}
         self._joint_stats: dict[tuple[str, str, str], KernelEstimator2D] = {}
         self._row_counts: dict[str, int] = {}
+        self._version = 0
 
     @property
     def family(self) -> str:
@@ -81,20 +102,77 @@ class Catalog:
             Sampling seed.
         """
         n = min(self._sample_size, table.row_count)
-        rows = table.sample_rows(n, seed=seed)
+        seed_key = _seed_cache_key(seed)
+        key_base = (
+            (table.name, table.fingerprint, self._family, n, seed_key)
+            if seed_key is not None
+            else None
+        )
+        rows: "dict[str, np.ndarray] | None" = None
+
+        def sampled() -> "dict[str, np.ndarray]":
+            # One row-aligned sample shared by every statistic this
+            # ANALYZE actually has to build.
+            nonlocal rows
+            if rows is None:
+                rows = table.sample_rows(n, seed=seed)
+            return rows
+
         self._row_counts[table.name] = table.row_count
         build = FAMILIES[self._family]
         for column in table.column_names:
-            statistic = build(rows[column], table.domain(column))
+            statistic = MISS
+            key = key_base + ("column", column) if key_base else None
+            if key is not None:
+                statistic = _STATISTICS_CACHE.get(key)
+            if statistic is MISS:
+                statistic = build(sampled()[column], table.domain(column))
+                if key is not None:
+                    _STATISTICS_CACHE.put(key, statistic)
             self._column_stats[(table.name, column)] = statistic
         for x, y in joint or []:
-            sample = np.column_stack([rows[x], rows[y]])
-            self._joint_stats[(table.name, x, y)] = KernelEstimator2D(
-                sample,
-                bandwidths=plugin_bandwidths_2d(sample),
-                domain_x=table.domain(x),
-                domain_y=table.domain(y),
-            )
+            statistic = MISS
+            key = key_base + ("joint", x, y) if key_base else None
+            if key is not None:
+                statistic = _STATISTICS_CACHE.get(key)
+            if statistic is MISS:
+                sample = np.column_stack([sampled()[x], sampled()[y]])
+                statistic = KernelEstimator2D(
+                    sample,
+                    bandwidths=plugin_bandwidths_2d(sample),
+                    domain_x=table.domain(x),
+                    domain_y=table.domain(y),
+                )
+                if key is not None:
+                    _STATISTICS_CACHE.put(key, statistic)
+            self._joint_stats[(table.name, x, y)] = statistic
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotonic statistics version.
+
+        Bumped by every :meth:`analyze` and :meth:`invalidate`, so
+        downstream caches (the planner's estimate LRU) can key on it
+        and age out entries computed from superseded statistics.
+        """
+        return self._version
+
+    def invalidate(self, table_name: str) -> None:
+        """Drop all statistics for a table (explicit data-change hook).
+
+        Removes the catalog's own statistics *and* evicts the table's
+        entries from the shared ANALYZE cache, so a subsequent
+        ``analyze`` rebuilds from scratch even if the replacement data
+        happens to collide on name and sample parameters.
+        """
+        self._row_counts.pop(table_name, None)
+        for key in [k for k in self._column_stats if k[0] == table_name]:
+            del self._column_stats[key]
+        for key in [k for k in self._joint_stats if k[0] == table_name]:
+            del self._joint_stats[key]
+        _STATISTICS_CACHE.evict(lambda key: key[0] == table_name)
+        self._version += 1
 
     def has_statistics(self, table_name: str) -> bool:
         """Whether ANALYZE has run for the table."""

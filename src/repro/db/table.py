@@ -9,6 +9,8 @@ way a real ANALYZE scans whole tuples).
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro.core.base import InvalidQueryError, InvalidSampleError, validate_query
@@ -62,11 +64,29 @@ class Table:
             self._domains[column] = domain
         self._data = data
         self._rows = int(length)
+        self._fingerprint: str | None = None
 
     @property
     def name(self) -> str:
         """Table name."""
         return self._name
+
+    @property
+    def fingerprint(self) -> str:
+        """Content digest of the table data (column names + values).
+
+        Tables are immutable, so the digest is computed once, lazily.
+        The statistics cache keys on it: replacing a table's data under
+        the same name yields a different fingerprint, which is what
+        invalidates previously cached ANALYZE results.
+        """
+        if self._fingerprint is None:
+            digest = 0
+            for column, values in self._data.items():
+                digest = zlib.crc32(column.encode(), digest)
+                digest = zlib.crc32(np.ascontiguousarray(values).tobytes(), digest)
+            self._fingerprint = f"{self._rows}-{digest:08x}"
+        return self._fingerprint
 
     @property
     def row_count(self) -> int:

@@ -22,7 +22,7 @@ from repro.core.kernel import make_kernel_estimator
 from repro.core.hybrid import HybridEstimator
 from repro.bandwidth.normal_scale import histogram_bin_count
 from repro.core.histogram import EquiWidthHistogram
-from repro.experiments.harness import DEFAULT, ExperimentConfig, load_context
+from repro.experiments.harness import DEFAULT, ExperimentConfig, load_context, run_cells
 from repro.experiments.reporting import FigureResult, make_result
 from repro.workload.metrics import mean_relative_error
 
@@ -44,26 +44,58 @@ HYBRID_KWARGS = dict(
 )
 
 
+#: Estimator builders of the final comparison, by figure label.  Each
+#: takes ``(sample, domain)`` — the smoothing parameters are chosen
+#: inside so a (dataset, estimator) cell is self-contained and the
+#: harness can run cells in parallel.
+ESTIMATOR_BUILDERS = {
+    "EWH": lambda sample, domain: EquiWidthHistogram(
+        sample, domain, histogram_bin_count(sample, domain)
+    ),
+    "Kernel": lambda sample, domain: make_kernel_estimator(
+        sample,
+        clamp_bandwidth(plugin_bandwidth(sample, steps=2, domain=domain), domain.width),
+        domain,
+        boundary="kernel",
+    ),
+    "Hybrid": lambda sample, domain: HybridEstimator(sample, domain, **HYBRID_KWARGS),
+    "ASH": lambda sample, domain: AverageShiftedHistogram(
+        sample, domain, histogram_bin_count(sample, domain), shifts=10
+    ),
+}
+
+
 def run(config: ExperimentConfig = DEFAULT) -> FigureResult:
-    """Final shoot-out per data file."""
-    rows = []
-    for name in config.datasets:
+    """Final shoot-out per data file.
+
+    Every (dataset, estimator) pair is an independent cell dispatched
+    through :func:`repro.experiments.harness.run_cells`; contexts are
+    shared through the harness cache, and per-cell determinism comes
+    from the config's seed scheme, so the parallel schedule cannot
+    change any number.
+    """
+    cells = [
+        (name, label)
+        for name in config.datasets
+        for label in ESTIMATOR_BUILDERS
+    ]
+
+    def evaluate(cell: "tuple[str, str]") -> float:
+        name, label = cell
         context = load_context(name, config)
-        sample, domain, queries = context.sample, context.relation.domain, context.queries
-        bins = histogram_bin_count(sample, domain)
-        h_dpi = clamp_bandwidth(
-            plugin_bandwidth(sample, steps=2, domain=domain), domain.width
-        )
-        estimators = {
-            "EWH": EquiWidthHistogram(sample, domain, bins),
-            "Kernel": make_kernel_estimator(sample, h_dpi, domain, boundary="kernel"),
-            "Hybrid": HybridEstimator(sample, domain, **HYBRID_KWARGS),
-            "ASH": AverageShiftedHistogram(sample, domain, bins, shifts=10),
+        sample, domain = context.sample, context.relation.domain
+        estimator = ESTIMATOR_BUILDERS[label](sample, domain)
+        return mean_relative_error(estimator, context.queries)
+
+    errors = run_cells(cells, evaluate, label=lambda cell: f"fig12:{cell[0]}:{cell[1]}")
+    by_cell = dict(zip(cells, errors))
+    rows = [
+        {
+            "dataset": name,
+            **{f"{label} MRE": by_cell[(name, label)] for label in ESTIMATOR_BUILDERS},
         }
-        row: dict[str, object] = {"dataset": name}
-        for label, estimator in estimators.items():
-            row[f"{label} MRE"] = mean_relative_error(estimator, queries)
-        rows.append(row)
+        for name in config.datasets
+    ]
     return make_result(
         "fig-12",
         "Comparison of the most promising estimators (1% queries)",

@@ -10,8 +10,9 @@ qualitative shape.
 
 from __future__ import annotations
 
+import concurrent.futures
 import dataclasses
-import functools
+import os
 import pathlib
 import typing
 import zlib
@@ -20,6 +21,7 @@ import numpy as np
 
 from repro.data import registry
 from repro.data.relation import Relation
+from repro.db.cache import MISS, LRUCache
 from repro.telemetry import get_telemetry
 from repro.workload.queries import QueryFile, generate_query_file
 
@@ -84,7 +86,11 @@ class Context:
     queries: QueryFile
 
 
-@functools.lru_cache(maxsize=128)
+#: Cached (relation, sample, queries) realizations; lookups surface as
+#: ``cache.hit.context`` / ``cache.miss.context`` telemetry counters.
+_CONTEXT_CACHE = LRUCache(capacity=128, name="context")
+
+
 def _cached_context(
     name: str,
     seed: int,
@@ -92,6 +98,10 @@ def _cached_context(
     n_queries: int,
     query_size: float,
 ) -> Context:
+    key = (name, seed, sample_size, n_queries, query_size)
+    cached = _CONTEXT_CACHE.get(key)
+    if cached is not MISS:
+        return cached
     telemetry = get_telemetry()
     with telemetry.span("harness.load_context", dataset=name):
         relation = registry.load(name, seed=seed)
@@ -106,7 +116,9 @@ def _cached_context(
         )
     if telemetry.enabled:
         telemetry.metrics.inc("harness.context.load")
-    return Context(relation, sample, queries)
+    context = Context(relation, sample, queries)
+    _CONTEXT_CACHE.put(key, context)
+    return context
 
 
 def load_context(
@@ -124,6 +136,62 @@ def load_context(
     return _cached_context(
         name, config.seed, config.sample_size, config.n_queries, float(size)
     )
+
+
+def default_worker_count(n_cells: int) -> int:
+    """Worker threads for :func:`run_cells`.
+
+    ``REPRO_HARNESS_WORKERS`` overrides (``1`` forces serial
+    execution); otherwise one thread per cell up to the CPU count,
+    capped at 8 — the cells are NumPy-heavy, so most of their time
+    releases the GIL inside vectorized kernels.
+    """
+    override = os.environ.get("REPRO_HARNESS_WORKERS")
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return max(1, min(n_cells, os.cpu_count() or 1, 8))
+
+
+def run_cells(
+    cells: "typing.Sequence[typing.Any]",
+    evaluate: "typing.Callable[[typing.Any], typing.Any]",
+    *,
+    max_workers: "int | None" = None,
+    label: "typing.Callable[[typing.Any], str]" = str,
+) -> list:
+    """Evaluate independent experiment cells, in parallel when possible.
+
+    ``cells`` are opaque descriptors (typically ``(dataset,
+    estimator)`` pairs); ``evaluate`` maps one cell to its result.
+    Results come back in input order regardless of completion order.
+    Determinism is unaffected: every cell derives its randomness from
+    the per-dataset ``sample_seed`` / ``query_seed`` scheme, so the
+    schedule cannot change any number.
+
+    Each cell runs inside a ``harness.cell`` span tagged with its
+    label, counts one ``harness.cell`` metric, and records its
+    wall-clock as ``harness.cell.seconds.<label>`` — the per-cell
+    timings the run manifest merges from all workers.
+    """
+    telemetry = get_telemetry()
+
+    def run_one(cell) -> typing.Any:
+        tag = label(cell)
+        with telemetry.span("harness.cell", cell=tag) as record:
+            result = evaluate(cell)
+        if telemetry.enabled:
+            telemetry.metrics.inc("harness.cell")
+            telemetry.metrics.observe(f"harness.cell.seconds.{tag}", record.duration)
+        return result
+
+    workers = default_worker_count(len(cells)) if max_workers is None else max_workers
+    if workers <= 1 or len(cells) <= 1:
+        return [run_one(cell) for cell in cells]
+    with concurrent.futures.ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_one, cells))
 
 
 def run_traced(

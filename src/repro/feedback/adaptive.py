@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import InvalidQueryError, InvalidSampleError, validate_query
+from repro.core.base import InvalidQueryError, InvalidSampleError, validate_query, validate_query_batch
 from repro.data.domain import Interval
 
 
@@ -101,8 +101,7 @@ class AdaptiveHistogram:
 
     def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`selectivity`."""
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
+        a, b = validate_query_batch(a, b)
         out = np.empty(a.shape, dtype=np.float64)
         flat_a, flat_b, flat_out = a.ravel(), b.ravel(), out.ravel()
         for i in range(flat_a.size):

@@ -29,6 +29,7 @@ from repro.core.base import (
     InvalidSampleError,
     validate_query,
     validate_sample,
+    validate_query_batch,
 )
 from repro.core.kernel.functions import EPANECHNIKOV, KernelFunction, get_kernel
 from repro.data.domain import Interval
@@ -135,8 +136,7 @@ class FeedbackKernelEstimator(DensityEstimator):
         return float(np.clip(total, 0.0, 1.0))
 
     def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        a = np.asarray(a, dtype=np.float64)
-        b = np.asarray(b, dtype=np.float64)
+        a, b = validate_query_batch(a, b)
         out = np.empty(np.broadcast(a, b).shape, dtype=np.float64)
         flat_a, flat_b, flat_out = np.ravel(a), np.ravel(b), out.ravel()
         for j in range(flat_a.size):

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import dataclasses
 import math
+import threading
 import time
 from contextlib import contextmanager
 from typing import Iterator, Mapping
@@ -61,16 +62,21 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._counters: dict[str, float] = {}
         self._values: dict[str, list[float]] = {}
+        # Guards both maps: the parallel experiment harness records
+        # metrics from worker threads into one shared registry.
+        self._lock = threading.Lock()
 
     # -- recording ----------------------------------------------------
 
     def inc(self, name: str, amount: float = 1.0) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self._counters[name] = self._counters.get(name, 0.0) + float(amount)
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0.0) + float(amount)
 
     def observe(self, name: str, value: float) -> None:
         """Append one observation to the value series ``name``."""
-        self._values.setdefault(name, []).append(float(value))
+        with self._lock:
+            self._values.setdefault(name, []).append(float(value))
 
     @contextmanager
     def time(self, name: str) -> Iterator[None]:
@@ -85,11 +91,13 @@ class MetricsRegistry:
 
     def counter(self, name: str) -> float:
         """Current value of counter ``name`` (0 if never incremented)."""
-        return self._counters.get(name, 0.0)
+        with self._lock:
+            return self._counters.get(name, 0.0)
 
     def values(self, name: str) -> tuple[float, ...]:
         """Raw observations of series ``name`` (empty if unknown)."""
-        return tuple(self._values.get(name, ()))
+        with self._lock:
+            return tuple(self._values.get(name, ()))
 
     def summary(self, name: str) -> ValueSummary:
         """Summary statistics of series ``name``.
@@ -99,7 +107,8 @@ class MetricsRegistry:
         KeyError
             If nothing was ever observed under ``name``.
         """
-        series = self._values.get(name)
+        with self._lock:
+            series = list(self._values.get(name, ()))
         if not series:
             raise KeyError(f"no observations recorded under {name!r}")
         ordered = sorted(series)
@@ -116,15 +125,16 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, Mapping[str, object]]:
         """Everything recorded, as plain nested dicts."""
+        with self._lock:
+            counters = dict(sorted(self._counters.items()))
+            names = sorted(self._values)
         return {
-            "counters": dict(sorted(self._counters.items())),
-            "values": {
-                name: self.summary(name).as_dict()
-                for name in sorted(self._values)
-            },
+            "counters": counters,
+            "values": {name: self.summary(name).as_dict() for name in names},
         }
 
     def reset(self) -> None:
         """Drop all counters and observations."""
-        self._counters.clear()
-        self._values.clear()
+        with self._lock:
+            self._counters.clear()
+            self._values.clear()

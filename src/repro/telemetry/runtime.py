@@ -16,6 +16,7 @@ restores the previous one on exit.
 from __future__ import annotations
 
 import json
+import threading
 import time
 import tracemalloc
 from contextlib import contextmanager
@@ -76,9 +77,20 @@ class Telemetry:
         self.enabled = bool(enabled)
         self.trace_memory = bool(trace_memory)
         self.metrics = MetricsRegistry()
-        self._stack: list[SpanRecord] = []
+        # Span nesting is tracked per thread (harness workers trace
+        # their own cells concurrently); the completed-root forest is
+        # shared and guarded by a lock.
+        self._local = threading.local()
         self._roots: list[SpanRecord] = []
+        self._roots_lock = threading.Lock()
         self._started_memory = False
+
+    @property
+    def _stack(self) -> list[SpanRecord]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # -- spans --------------------------------------------------------
 
@@ -117,7 +129,8 @@ class Telemetry:
         if self._stack:
             self._stack[-1].children.append(record)
         else:
-            self._roots.append(record)
+            with self._roots_lock:
+                self._roots.append(record)
         self.metrics.observe(f"span.{record.name}", record.duration)
 
     @property
@@ -132,29 +145,32 @@ class Telemetry:
     @property
     def roots(self) -> tuple[SpanRecord, ...]:
         """Completed top-level spans, in completion order."""
-        return tuple(self._roots)
+        with self._roots_lock:
+            return tuple(self._roots)
 
     def spans_by_name(self, name: str) -> tuple[SpanRecord, ...]:
         """All completed spans named ``name``, anywhere in the forest."""
         return tuple(
             record
-            for root in self._roots
+            for root in self.roots
             for record in root.iter_all()
             if record.name == name
         )
 
     def render_spans(self) -> str:
         """Text rendering of the completed span forest."""
-        if not self._roots:
+        roots = self.roots
+        if not roots:
             return "(no spans recorded)"
-        return "\n".join(root.render() for root in self._roots)
+        return "\n".join(root.render() for root in roots)
 
     # -- export -------------------------------------------------------
 
     def snapshot(self) -> dict[str, object]:
         """Everything recorded so far as plain nested dicts."""
         by_name: dict[str, dict[str, float]] = {}
-        for root in self._roots:
+        roots = self.roots
+        for root in roots:
             for record in root.iter_all():
                 if record.duration is None:
                     continue
@@ -170,7 +186,7 @@ class Telemetry:
             "metrics": self.metrics.snapshot(),
             "spans": {
                 "by_name": {name: by_name[name] for name in sorted(by_name)},
-                "tree": [root.as_dict() for root in self._roots],
+                "tree": [root.as_dict() for root in roots],
             },
         }
 
@@ -181,10 +197,15 @@ class Telemetry:
         return json.dumps(self.snapshot(), **json_kwargs)
 
     def reset(self) -> None:
-        """Drop all recorded spans and metrics (keeps the flags)."""
+        """Drop all recorded spans and metrics (keeps the flags).
+
+        Only the calling thread's open-span stack is cleared; worker
+        threads own their stacks.
+        """
         self.metrics.reset()
         self._stack.clear()
-        self._roots.clear()
+        with self._roots_lock:
+            self._roots.clear()
 
     def close(self) -> None:
         """Stop ``tracemalloc`` if this instance started it."""

@@ -1,0 +1,169 @@
+"""Tests for the database-layer caches (repro.db.cache and its users).
+
+Covers the :class:`~repro.db.cache.LRUCache` building block, the
+shared ANALYZE statistics cache with its fingerprint/explicit
+invalidation, and the planner's estimate LRU — including the
+``cache.hit`` / ``cache.miss`` telemetry the caches surface.
+"""
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.data.domain import Interval
+from repro.db import Catalog, Planner, RangePredicate, Table
+from repro.db.cache import MISS, LRUCache
+from repro.db.catalog import _STATISTICS_CACHE
+
+DOMAIN = Interval(0.0, 1_000.0)
+
+
+def _make_table(name="points", shift=0.0, n=5_000, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.clip(rng.normal(400.0 + shift, 120.0, n), 0, 1_000)
+    z = rng.uniform(0, 1_000, n)
+    return Table(name, {"x": (x, DOMAIN), "z": (z, DOMAIN)})
+
+
+@pytest.fixture(autouse=True)
+def _clean_statistics_cache():
+    _STATISTICS_CACHE.clear()
+    yield
+    _STATISTICS_CACHE.clear()
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self):
+        cache = LRUCache(capacity=4, name="t")
+        assert cache.get("a") is MISS
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_cached_none_is_not_a_miss(self):
+        cache = LRUCache(capacity=4, name="t")
+        cache.put("a", None)
+        assert cache.get("a") is None
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(capacity=2, name="t")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh "a": "b" is now the oldest
+        cache.put("c", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_get_or_build_builds_once(self):
+        cache = LRUCache(capacity=4, name="t")
+        calls = []
+        build = lambda: calls.append(1) or "value"
+        assert cache.get_or_build("k", build) == "value"
+        assert cache.get_or_build("k", build) == "value"
+        assert len(calls) == 1
+
+    def test_evict_by_predicate(self):
+        cache = LRUCache(capacity=8, name="t")
+        for key in (("a", 1), ("a", 2), ("b", 1)):
+            cache.put(key, key)
+        assert cache.evict(lambda key: key[0] == "a") == 2
+        assert len(cache) == 1 and cache.get(("b", 1)) == ("b", 1)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0, name="t")
+
+    def test_telemetry_counters(self):
+        with telemetry.session() as session:
+            cache = LRUCache(capacity=4, name="unit")
+            cache.get("a")
+            cache.put("a", 1)
+            cache.get("a")
+            assert session.metrics.counter("cache.miss") == 1
+            assert session.metrics.counter("cache.hit") == 1
+            assert session.metrics.counter("cache.miss.unit") == 1
+            assert session.metrics.counter("cache.hit.unit") == 1
+
+
+class TestStatisticsCache:
+    def test_second_analyze_reuses_statistics(self):
+        table = _make_table()
+        catalog = Catalog(family="equi-width", sample_size=500)
+        catalog.analyze(table, seed=7)
+        first = catalog.column_statistic("points", "x")
+        rebuilt = Catalog(family="equi-width", sample_size=500)
+        rebuilt.analyze(table, seed=7)
+        assert rebuilt.column_statistic("points", "x") is first
+
+    def test_unseeded_analyze_bypasses_the_cache(self):
+        table = _make_table()
+        catalog = Catalog(family="equi-width", sample_size=500)
+        catalog.analyze(table, seed=None)
+        assert len(_STATISTICS_CACHE) == 0
+
+    def test_changed_data_misses_naturally(self):
+        catalog = Catalog(family="equi-width", sample_size=500)
+        table = _make_table()
+        catalog.analyze(table, seed=7)
+        first = catalog.column_statistic("points", "x")
+        # Same name, same parameters, different data: the fingerprint
+        # in the cache key must force a rebuild.
+        catalog.analyze(_make_table(shift=200.0, seed=1), seed=7)
+        assert catalog.column_statistic("points", "x") is not first
+
+    def test_invalidate_forces_rebuild(self):
+        table = _make_table()
+        catalog = Catalog(family="equi-width", sample_size=500)
+        catalog.analyze(table, seed=7)
+        first = catalog.column_statistic("points", "x")
+        catalog.invalidate("points")
+        assert not catalog.has_statistics("points")
+        catalog.analyze(table, seed=7)
+        assert catalog.column_statistic("points", "x") is not first
+
+    def test_version_bumps_on_analyze_and_invalidate(self):
+        table = _make_table()
+        catalog = Catalog(family="equi-width", sample_size=500)
+        v0 = catalog.version
+        catalog.analyze(table, seed=7)
+        v1 = catalog.version
+        catalog.invalidate("points")
+        assert v0 < v1 < catalog.version
+
+    def test_hits_surface_in_telemetry(self):
+        table = _make_table()
+        catalog = Catalog(family="equi-width", sample_size=500)
+        catalog.analyze(table, seed=7)
+        with telemetry.session() as session:
+            catalog.analyze(table, seed=7)
+            assert session.metrics.counter("cache.hit.statistics") == len(
+                table.column_names
+            )
+            assert session.metrics.counter("cache.miss.statistics") == 0
+
+
+class TestPlannerEstimateCache:
+    def _planner(self):
+        table = _make_table()
+        catalog = Catalog(family="equi-width", sample_size=500)
+        catalog.analyze(table, seed=7)
+        return table, catalog, Planner(catalog)
+
+    def test_repeated_plan_hits_the_estimate_cache(self):
+        table, _, planner = self._planner()
+        predicates = [RangePredicate("x", 300.0, 500.0)]
+        first = planner.plan(table, predicates)
+        with telemetry.session() as session:
+            second = planner.plan(table, predicates)
+            assert session.metrics.counter("cache.hit.planner") >= 1
+        assert second.estimated_rows == first.estimated_rows
+
+    def test_reanalyze_ages_out_cached_estimates(self):
+        table, catalog, planner = self._planner()
+        predicates = [RangePredicate("x", 300.0, 500.0)]
+        planner.plan(table, predicates)
+        catalog.analyze(table, seed=8)  # new statistics version
+        with telemetry.session() as session:
+            planner.plan(table, predicates)
+            assert session.metrics.counter("cache.hit.planner") == 0
+            assert session.metrics.counter("cache.miss.planner") >= 1

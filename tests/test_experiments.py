@@ -195,3 +195,54 @@ class TestBarDatasets:
 
         for name in harness.PAPER_BAR_DATASETS:
             assert registry.spec(name) is not None
+
+
+class TestRunCells:
+    def test_results_in_input_order(self):
+        cells = list(range(20))
+        results = harness.run_cells(cells, lambda c: c * c, max_workers=4)
+        assert results == [c * c for c in cells]
+
+    def test_parallel_matches_serial(self):
+        cells = [("a", i) for i in range(8)]
+        evaluate = lambda cell: hash(cell) % 1_000
+        serial = harness.run_cells(cells, evaluate, max_workers=1)
+        parallel = harness.run_cells(cells, evaluate, max_workers=4)
+        assert serial == parallel
+
+    def test_single_cell_runs_serially(self):
+        assert harness.run_cells(["only"], lambda c: c.upper(), max_workers=8) == ["ONLY"]
+
+    def test_telemetry_spans_and_timings(self):
+        from repro import telemetry
+
+        with telemetry.session() as session:
+            harness.run_cells(
+                ["x", "y"], lambda c: c, max_workers=2, label=lambda c: f"cell:{c}"
+            )
+            assert session.metrics.counter("harness.cell") == 2
+            assert len(session.spans_by_name("harness.cell")) == 2
+            for tag in ("cell:x", "cell:y"):
+                summary = session.metrics.summary(f"harness.cell.seconds.{tag}")
+                assert summary.count == 1 and summary.total >= 0.0
+
+    def test_worker_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HARNESS_WORKERS", "1")
+        assert harness.default_worker_count(32) == 1
+        monkeypatch.setenv("REPRO_HARNESS_WORKERS", "not-a-number")
+        assert 1 <= harness.default_worker_count(32) <= 8
+
+    def test_worker_count_bounded_by_cells(self, monkeypatch):
+        monkeypatch.delenv("REPRO_HARNESS_WORKERS", raising=False)
+        assert harness.default_worker_count(1) == 1
+        assert harness.default_worker_count(0) == 1
+        assert harness.default_worker_count(100) <= 8
+
+    def test_exception_propagates(self):
+        def boom(cell):
+            if cell == 1:
+                raise RuntimeError(f"cell {cell} failed")
+            return cell
+
+        with pytest.raises(RuntimeError, match="cell 1 failed"):
+            harness.run_cells([0, 1, 2], boom, max_workers=2)

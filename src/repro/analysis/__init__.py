@@ -1,0 +1,50 @@
+"""``repro.analysis``: project-specific static analysis.
+
+A sanitizer pass for a numerics codebase: AST-based lints that enforce
+the estimator-comparison invariants the paper's conclusions rest on
+(deterministic seeding, validated queries, vectorized batch serving,
+immutable built estimators, registered telemetry names, numeric and
+thread-safety hygiene), plus a strict typing gate.
+
+Run it locally::
+
+    PYTHONPATH=src python -m repro.analysis src tests benchmarks
+    PYTHONPATH=src python -m repro.analysis --list-rules
+    PYTHONPATH=src python -m repro.analysis --typing     # also run mypy --strict
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalog, per-rule
+rationale and the suppression-pragma syntax
+(``# repro: allow[rule-name] — reason``).
+"""
+
+from repro.analysis.engine import (
+    PARSE_ERROR_RULE,
+    analyze_modules,
+    analyze_paths,
+    analyze_source,
+    discover_files,
+    select_rules,
+)
+from repro.analysis.findings import Finding, ModuleInfo
+from repro.analysis.pragmas import PRAGMA_RULE, Pragma, parse_pragmas
+from repro.analysis.rules import ALL_RULES, RULES_BY_NAME
+from repro.analysis.typing_gate import TypingGateResult, mypy_available, run_typing_gate
+
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ModuleInfo",
+    "PARSE_ERROR_RULE",
+    "PRAGMA_RULE",
+    "Pragma",
+    "RULES_BY_NAME",
+    "TypingGateResult",
+    "analyze_modules",
+    "analyze_paths",
+    "analyze_source",
+    "discover_files",
+    "mypy_available",
+    "parse_pragmas",
+    "run_typing_gate",
+    "select_rules",
+]

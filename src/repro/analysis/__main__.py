@@ -1,0 +1,104 @@
+"""CLI: ``python -m repro.analysis [paths...]``.
+
+Exit status is 1 when findings survive suppression (0 under
+``--warn-only``), so the command slots directly into CI.  ``--typing``
+additionally runs the mypy strict gate and fails on type errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import Sequence
+
+from repro.analysis.engine import analyze_paths
+from repro.analysis.rules import ALL_RULES
+from repro.analysis.typing_gate import run_typing_gate
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis (see docs/STATIC_ANALYSIS.md).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report findings but exit 0 (burn-down mode)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule names to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    parser.add_argument(
+        "--typing",
+        action="store_true",
+        help="also run the strict mypy typing gate (pyproject [tool.mypy] config)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule in ALL_RULES:
+            print(f"{rule.name:24s} {rule.description}")
+        return 0
+
+    rules = args.select.split(",") if args.select else None
+    try:
+        findings = analyze_paths(args.paths, rules=rules)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for item in findings:
+            print(item.render())
+        if findings:
+            by_rule = Counter(item.rule for item in findings)
+            summary = ", ".join(f"{rule}: {n}" for rule, n in sorted(by_rule.items()))
+            print(f"\n{len(findings)} finding(s) ({summary})", file=sys.stderr)
+        else:
+            print("analysis clean: 0 findings", file=sys.stderr)
+
+    exit_code = 0
+    if findings and not args.warn_only:
+        exit_code = 1
+
+    if args.typing:
+        gate = run_typing_gate()
+        print(f"typing gate: {gate.status}", file=sys.stderr)
+        if gate.output.strip():
+            print(gate.output.rstrip(), file=sys.stderr)
+        if gate.status == "failed" and not args.warn_only:
+            exit_code = 1
+
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

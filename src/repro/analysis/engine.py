@@ -1,0 +1,187 @@
+"""The analysis engine: file discovery, parsing, rule dispatch.
+
+Running an analysis is three steps:
+
+1. **collect** — walk the given paths for ``*.py`` files and parse
+   each into a :class:`~repro.analysis.findings.ModuleInfo` (AST plus
+   tokenize-extracted comments for pragma/justification checks).
+2. **index** — build the cross-file :class:`~repro.analysis.project.ProjectIndex`
+   (estimator hierarchy) over *all* collected modules, so contract
+   rules see subclasses wherever they live.
+3. **lint** — run every selected rule over every module, apply
+   suppression pragmas, and report malformed pragmas as findings of
+   the synthetic ``pragma`` rule.
+
+Files that fail to parse are reported as ``parse-error`` findings
+instead of crashing the run: an analyzer that dies on the first broken
+file is useless in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding, ModuleInfo, Rule
+from repro.analysis.pragmas import PRAGMA_RULE, apply_pragmas, parse_pragmas
+from repro.analysis.project import ProjectIndex
+from repro.analysis.rules import ALL_RULES, RULES_BY_NAME
+
+PARSE_ERROR_RULE = "parse-error"
+
+#: Directory names never descended into during discovery.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "node_modules", "build", "dist"})
+
+
+def discover_files(paths: Sequence[Path | str]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated file list."""
+    seen: dict[Path, None] = {}
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS & set(candidate.parts):
+                    seen.setdefault(candidate, None)
+        elif path.suffix == ".py":
+            seen.setdefault(path, None)
+    return list(seen)
+
+
+def _extract_comments(source: str) -> dict[int, str]:
+    comments: dict[int, str] = {}
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments[token.start[0]] = token.string
+    except (tokenize.TokenError, IndentationError):  # half-written file: lint what parsed
+        pass
+    return comments
+
+
+def load_module(path: Path) -> ModuleInfo | Finding:
+    """Parse one file; a syntax error becomes a ``parse-error`` finding."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        return Finding(
+            path=str(path),
+            line=int(line),
+            col=1,
+            rule=PARSE_ERROR_RULE,
+            message=f"cannot analyze file: {exc}",
+        )
+    return ModuleInfo(
+        path=path,
+        tree=tree,
+        source_lines=tuple(source.splitlines()),
+        comments=_extract_comments(source),
+    )
+
+
+def select_rules(names: Iterable[str] | None) -> tuple[Rule, ...]:
+    """Resolve a rule-name selection (``None`` means every rule)."""
+    if names is None:
+        return ALL_RULES
+    selected: list[Rule] = []
+    for name in names:
+        if name not in RULES_BY_NAME:
+            raise KeyError(
+                f"unknown rule {name!r}; available: {', '.join(sorted(RULES_BY_NAME))}"
+            )
+        selected.append(RULES_BY_NAME[name])
+    return tuple(selected)
+
+
+def analyze_paths(
+    paths: Sequence[Path | str],
+    *,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run the analyzer over ``paths`` and return all surviving findings."""
+    files = discover_files(paths)
+    modules: list[ModuleInfo] = []
+    findings: list[Finding] = []
+    for path in files:
+        loaded = load_module(path)
+        if isinstance(loaded, Finding):
+            findings.append(loaded)
+        else:
+            modules.append(loaded)
+    findings.extend(analyze_modules(modules, rules=rules))
+    return sorted(findings)
+
+
+def analyze_modules(
+    modules: Sequence[ModuleInfo],
+    *,
+    rules: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run rules over pre-parsed modules (the testable core)."""
+    active = select_rules(rules)
+    known_rule_names = set(RULES_BY_NAME) | {PRAGMA_RULE, PARSE_ERROR_RULE}
+    project = ProjectIndex(modules)
+    findings: list[Finding] = []
+    for module in modules:
+        pragmas, pragma_problems = parse_pragmas(module, known_rule_names)
+        findings.extend(pragma_problems)
+        raw: list[Finding] = []
+        for rule in active:
+            raw.extend(rule.check(module, project))
+        findings.extend(apply_pragmas(raw, pragmas))
+    return sorted(findings)
+
+
+def analyze_source(
+    source: str,
+    *,
+    path: str = "<snippet>",
+    rules: Iterable[str] | None = None,
+    context: Sequence[str] = (),
+) -> list[Finding]:
+    """Analyze a source snippet (the fixture-test entry point).
+
+    ``context`` holds additional snippets indexed for the class
+    hierarchy (e.g. a stub ``class SelectivityEstimator``) but not
+    themselves linted.
+    """
+    module = load_module_from_source(source, path)
+    if isinstance(module, Finding):
+        return [module]
+    extras: list[ModuleInfo] = []
+    for i, snippet in enumerate(context):
+        loaded = load_module_from_source(snippet, f"<context-{i}>")
+        if isinstance(loaded, ModuleInfo):
+            extras.append(loaded)
+    active = select_rules(rules)
+    known_rule_names = set(RULES_BY_NAME) | {PRAGMA_RULE, PARSE_ERROR_RULE}
+    project = ProjectIndex([module, *extras])
+    pragmas, pragma_problems = parse_pragmas(module, known_rule_names)
+    raw: list[Finding] = []
+    for rule in active:
+        raw.extend(rule.check(module, project))
+    return sorted([*pragma_problems, *apply_pragmas(raw, pragmas)])
+
+
+def load_module_from_source(source: str, path: str) -> ModuleInfo | Finding:
+    """Parse in-memory source into a :class:`ModuleInfo`."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return Finding(
+            path=path,
+            line=int(exc.lineno or 1),
+            col=1,
+            rule=PARSE_ERROR_RULE,
+            message=f"cannot analyze file: {exc}",
+        )
+    return ModuleInfo(
+        path=Path(path),
+        tree=tree,
+        source_lines=tuple(source.splitlines()),
+        comments=_extract_comments(source),
+    )

@@ -1,0 +1,99 @@
+"""Finding and rule primitives shared by the analyzer."""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator, Protocol
+
+if TYPE_CHECKING:
+    from repro.analysis.project import ProjectIndex
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: rule: message`` — the one-line report format."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule}: {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-dict rendering (JSON output mode)."""
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class ModuleInfo:
+    """One parsed source file, ready for rules to inspect.
+
+    Attributes
+    ----------
+    path:
+        Path the file was read from (as given on the command line).
+    tree:
+        The parsed ``ast`` module.
+    source_lines:
+        The raw source split into lines (1-indexed via ``line - 1``).
+    comments:
+        Mapping of line number to the comment text on that line
+        (including the ``#``), extracted with :mod:`tokenize` so
+        strings containing ``#`` are not mistaken for comments.
+    """
+
+    path: Path
+    tree: ast.Module
+    source_lines: tuple[str, ...]
+    comments: dict[int, str]
+
+    def has_adjacent_comment(self, line: int) -> bool:
+        """Whether ``line`` or the line above carries a comment.
+
+        Rules that demand a *written justification* (e.g. silencing
+        ``np.errstate``) accept any comment on the flagged line or
+        immediately above it.
+        """
+        return line in self.comments or (line - 1) in self.comments
+
+
+class Rule(Protocol):
+    """A single named check over one module."""
+
+    name: str
+    description: str
+
+    def check(self, module: ModuleInfo, project: "ProjectIndex") -> Iterator[Finding]:
+        """Yield findings for ``module``."""
+        ...
+
+
+def finding(
+    module: ModuleInfo, node: ast.AST, rule: str, message: str
+) -> Finding:
+    """Build a :class:`Finding` anchored at an AST node."""
+    return Finding(
+        path=str(module.path),
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0) + 1,
+        rule=rule,
+        message=message,
+    )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render an ``a.b.c`` attribute chain, or ``None`` if not a plain chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,143 @@
+"""Suppression pragmas: ``# repro: allow[rule-name] — reason``.
+
+A finding can be silenced *only* with a written justification.  The
+pragma names the rule it silences and must carry a non-empty reason
+after an em dash (``—``) or a double hyphen (``--``)::
+
+    with np.errstate(divide="ignore"):  # repro: allow[numeric-safety] — log(0) handled below
+    _cache = {}  # repro: allow[thread-safety] -- guarded by _cache_lock in every accessor
+
+A pragma on the violating line suppresses findings on that line; a
+pragma on a line of its own suppresses findings on the next line.  The
+``allow-file`` form silences one rule for the whole module — for files
+whose *purpose* conflicts with a rule (e.g. the telemetry test suite
+records synthetic span names on purpose)::
+
+    # repro: allow-file[telemetry-naming] — synthetic names exercise the tracing machinery
+
+Malformed pragmas (unknown rule name, missing reason) are themselves
+reported as ``pragma`` findings, so a suppression can never silently
+rot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.findings import Finding, ModuleInfo
+
+PRAGMA_RULE = "pragma"
+
+#: Matches the allow-pragma head; the separator and reason are
+#: validated separately so a missing reason produces a precise
+#: diagnostic rather than a silent non-match.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow(?P<scope>-file)?\[(?P<rule>[^\]]*)\]\s*(?P<rest>.*)$"
+)
+_REASON_RE = re.compile(r"^(?:—|–|--)\s*(?P<reason>\S.*)$")
+
+
+@dataclasses.dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression pragma."""
+
+    line: int
+    rule: str
+    reason: str
+    #: Line whose findings this pragma suppresses (the pragma's own
+    #: line, or the next line for standalone comment lines).  ``None``
+    #: for file-scoped pragmas, which suppress the rule everywhere in
+    #: the module.
+    target_line: int | None
+
+
+def _is_standalone_comment(module: ModuleInfo, line: int) -> bool:
+    text = module.source_lines[line - 1] if line - 1 < len(module.source_lines) else ""
+    return text.lstrip().startswith("#")
+
+
+def parse_pragmas(
+    module: ModuleInfo, known_rules: Iterable[str]
+) -> tuple[list[Pragma], list[Finding]]:
+    """Extract pragmas from ``module``; malformed ones become findings."""
+    known = set(known_rules)
+    pragmas: list[Pragma] = []
+    problems: list[Finding] = []
+    for line, comment in sorted(module.comments.items()):
+        match = _PRAGMA_RE.search(comment)
+        if match is None:
+            if "repro:" in comment and "allow" in comment:
+                problems.append(
+                    Finding(
+                        path=str(module.path),
+                        line=line,
+                        col=1,
+                        rule=PRAGMA_RULE,
+                        message=(
+                            "malformed suppression pragma; expected "
+                            "'# repro: allow[rule-name] — reason'"
+                        ),
+                    )
+                )
+            continue
+        rule = match.group("rule").strip()
+        if rule not in known:
+            problems.append(
+                Finding(
+                    path=str(module.path),
+                    line=line,
+                    col=1,
+                    rule=PRAGMA_RULE,
+                    message=f"pragma names unknown rule {rule!r}; known rules: "
+                    + ", ".join(sorted(known)),
+                )
+            )
+            continue
+        file_scoped = match.group("scope") is not None
+        reason_match = _REASON_RE.match(match.group("rest").strip())
+        if reason_match is None:
+            form = "allow-file" if file_scoped else "allow"
+            problems.append(
+                Finding(
+                    path=str(module.path),
+                    line=line,
+                    col=1,
+                    rule=PRAGMA_RULE,
+                    message=(
+                        f"pragma {form}[{rule}] is missing its reason; write "
+                        f"'# repro: {form}[{rule}] — <why this is safe>'"
+                    ),
+                )
+            )
+            continue
+        if file_scoped:
+            target: int | None = None
+        else:
+            target = line + 1 if _is_standalone_comment(module, line) else line
+        pragmas.append(
+            Pragma(
+                line=line,
+                rule=rule,
+                reason=reason_match.group("reason").strip(),
+                target_line=target,
+            )
+        )
+    return pragmas, problems
+
+
+def apply_pragmas(
+    findings: Iterable[Finding], pragmas: Iterable[Pragma]
+) -> Iterator[Finding]:
+    """Drop findings covered by a matching pragma."""
+    pragma_list = list(pragmas)
+    suppressed = {
+        (p.rule, p.target_line) for p in pragma_list if p.target_line is not None
+    }
+    file_suppressed = {p.rule for p in pragma_list if p.target_line is None}
+    for item in findings:
+        if item.rule in file_suppressed:
+            continue
+        if (item.rule, item.line) not in suppressed:
+            yield item

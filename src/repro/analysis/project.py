@@ -1,0 +1,95 @@
+"""Project-wide index: the estimator class hierarchy across files.
+
+Several rules are *contract* checks on concrete
+:class:`~repro.core.base.SelectivityEstimator` subclasses, and those
+subclasses are spread over many modules (histograms, kernels, hybrid,
+multidim, test fixtures).  A single-file linter cannot know that
+``EquiWidthHistogram`` is an estimator — its AST only says it extends
+``PiecewiseConstantDensity``.
+
+:class:`ProjectIndex` therefore makes two passes: pass one collects
+every class definition and its base names (by final identifier, so
+``base.DensityEstimator`` and ``DensityEstimator`` both count); pass
+two computes the transitive closure seeded by the abstract roots
+``SelectivityEstimator`` / ``DensityEstimator``.  Rules then ask
+``project.is_estimator_class(node)`` and
+``project.is_abstract(node)``.
+
+Name-based resolution is deliberate: it needs no imports resolved and
+works on fixture snippets in tests, at the cost of treating any class
+*named* like a base as one — acceptable for a project-specific lint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.findings import ModuleInfo, dotted_name
+
+#: Abstract roots of the estimator hierarchy (repro.core.base).
+ESTIMATOR_ROOTS = frozenset({"SelectivityEstimator", "DensityEstimator"})
+
+#: Decorator names that mark a method abstract.
+_ABSTRACT_DECORATORS = frozenset({"abstractmethod", "abstractproperty"})
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    names: set[str] = set()
+    for base in node.bases:
+        dotted = dotted_name(base)
+        if dotted is not None:
+            names.add(dotted.rsplit(".", 1)[-1])
+    return names
+
+
+def _has_abstract_member(node: ast.ClassDef) -> bool:
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in item.decorator_list:
+                dotted = dotted_name(decorator)
+                if dotted is not None and dotted.rsplit(".", 1)[-1] in _ABSTRACT_DECORATORS:
+                    return True
+    return False
+
+
+class ProjectIndex:
+    """Class-hierarchy facts shared by all rules during one run."""
+
+    def __init__(self, modules: Iterable[ModuleInfo]) -> None:
+        bases_of: dict[str, set[str]] = {}
+        self._abstract: set[str] = set()
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                bases_of.setdefault(node.name, set()).update(_base_names(node))
+                if _has_abstract_member(node) or "ABC" in _base_names(node):
+                    self._abstract.add(node.name)
+        # Transitive closure from the roots: a class is an estimator if
+        # any base (by name) is one.  Iterate to a fixed point — the
+        # hierarchy is shallow, so this converges in a few sweeps.
+        estimators = set(ESTIMATOR_ROOTS)
+        changed = True
+        while changed:
+            changed = False
+            for name, bases in bases_of.items():
+                if name not in estimators and bases & estimators:
+                    estimators.add(name)
+                    changed = True
+        self._estimators = estimators
+
+    def is_estimator_class(self, node: ast.ClassDef) -> bool:
+        """Whether ``node`` is in the estimator hierarchy."""
+        return node.name in self._estimators or bool(
+            _base_names(node) & self._estimators
+        )
+
+    def is_abstract(self, node: ast.ClassDef) -> bool:
+        """Whether ``node`` declares abstract members (contract checks skip it)."""
+        return node.name in self._abstract or _has_abstract_member(node)
+
+    @property
+    def estimator_class_names(self) -> frozenset[str]:
+        """All known estimator class names (roots included)."""
+        return frozenset(self._estimators)

@@ -1,0 +1,38 @@
+"""The project-specific rule catalog.
+
+Each module defines one rule class; :data:`ALL_RULES` is the ordered
+catalog the engine runs.  See ``docs/STATIC_ANALYSIS.md`` for the
+rationale behind every rule.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Rule
+from repro.analysis.rules.conformance import EstimatorConformanceRule
+from repro.analysis.rules.frozen import FrozenAfterBuildRule
+from repro.analysis.rules.numeric_safety import NumericSafetyRule
+from repro.analysis.rules.seeded_rng import SeededRngRule
+from repro.analysis.rules.telemetry_names import TelemetryNamingRule
+from repro.analysis.rules.thread_safety import ThreadSafetyRule
+
+ALL_RULES: tuple[Rule, ...] = (
+    SeededRngRule(),
+    EstimatorConformanceRule(),
+    FrozenAfterBuildRule(),
+    TelemetryNamingRule(),
+    NumericSafetyRule(),
+    ThreadSafetyRule(),
+)
+
+RULES_BY_NAME: dict[str, Rule] = {rule.name: rule for rule in ALL_RULES}
+
+__all__ = [
+    "ALL_RULES",
+    "RULES_BY_NAME",
+    "EstimatorConformanceRule",
+    "FrozenAfterBuildRule",
+    "NumericSafetyRule",
+    "SeededRngRule",
+    "TelemetryNamingRule",
+    "ThreadSafetyRule",
+]

@@ -1,0 +1,190 @@
+"""Rule ``estimator-conformance``: concrete estimators honor the contract.
+
+The comparisons the repo reproduces are only fair when every estimator
+enforces the same input contract and serves batches through the same
+vectorized path (PR 4's contract).  For every *concrete* class in the
+estimator hierarchy (see :mod:`repro.analysis.project`) this rule
+checks:
+
+* ``__init__``/``build`` taking a raw sample (a parameter named
+  ``sample``/``samples``/``values``/``data``) must validate it: the
+  body must reference :func:`repro.core.base.validate_sample`,
+  delegate to ``super().__init__``, or construct another estimator
+  class (which validates in turn — the ASH builds equi-width
+  components).  Constructors that take no raw sample (the uniform
+  estimator, pre-aggregated histogram building blocks) are exempt.
+* ``selectivity`` must reference ``validate_query`` or delegate to the
+  (validated) batch path ``self.selectivities``.
+* ``selectivities`` must reference ``validate_query_batch`` (or
+  delegate to ``super().selectivities`` / another estimator's batch
+  method) and must **not** be a Python ``for``/``while`` loop over
+  ``self.selectivity`` — that silently reverts the class to the
+  pre-PR-4 scalar path, three orders of magnitude slower at serving
+  batch sizes.
+
+Abstract classes are exempt: the scalar-loop default on the abstract
+base *is* the documented fallback for estimators without a vectorized
+path, which must opt out explicitly via pragma when they keep it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleInfo, dotted_name, finding
+from repro.analysis.project import ProjectIndex
+
+_VALIDATORS_SAMPLE = frozenset({"validate_sample"})
+_SAMPLE_PARAMS = frozenset({"sample", "samples", "values", "data"})
+_VALIDATORS_QUERY = frozenset({"validate_query", "validate_query_batch"})
+_VALIDATOR_BATCH = "validate_query_batch"
+
+
+def _called_names(node: ast.AST) -> set[str]:
+    """Final identifiers of every call target inside ``node``."""
+    names: set[str] = set()
+    for item in ast.walk(node):
+        if isinstance(item, ast.Call):
+            dotted = dotted_name(item.func)
+            if dotted is not None:
+                names.add(dotted.rsplit(".", 1)[-1])
+                names.add(dotted)
+    return names
+
+
+def _calls_super(names: set[str], method: str) -> bool:
+    return any(n.startswith("super") and n.endswith(method) for n in names) or (
+        "super" in names
+    )
+
+
+_LOOP_NODES = (ast.For, ast.While, ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+
+
+def _loops_over_scalar_selectivity(fn: ast.FunctionDef) -> ast.AST | None:
+    """The first loop/comprehension that calls ``self.selectivity``."""
+    for node in ast.walk(fn):
+        if isinstance(node, _LOOP_NODES):
+            for item in ast.walk(node):
+                if isinstance(item, ast.Call):
+                    dotted = dotted_name(item.func)
+                    if dotted in {"self.selectivity", "self.selectivity_scan"}:
+                        return node
+    return None
+
+
+def _methods(cls: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        item.name: item
+        for item in cls.body
+        if isinstance(item, ast.FunctionDef)
+    }
+
+
+class EstimatorConformanceRule:
+    name = "estimator-conformance"
+    description = (
+        "concrete estimators must validate samples/queries through the "
+        "shared validators and keep selectivities() vectorized"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not project.is_estimator_class(node) or project.is_abstract(node):
+                continue
+            methods = _methods(node)
+            yield from self._check_build(module, node, methods, project)
+            yield from self._check_scalar(module, node, methods)
+            yield from self._check_batch(module, node, methods)
+
+    def _check_build(
+        self,
+        module: ModuleInfo,
+        cls: ast.ClassDef,
+        methods: dict[str, ast.FunctionDef],
+        project: ProjectIndex,
+    ) -> Iterator[Finding]:
+        for name in ("__init__", "build"):
+            fn = methods.get(name)
+            if fn is None:
+                continue
+            params = {arg.arg for arg in (*fn.args.posonlyargs, *fn.args.args, *fn.args.kwonlyargs)}
+            if not params & _SAMPLE_PARAMS:
+                continue  # no raw sample accepted, nothing to validate
+            called = _called_names(fn)
+            if called & _VALIDATORS_SAMPLE or _calls_super(called, name):
+                continue
+            last_segments = {n.rsplit(".", 1)[-1] for n in called}
+            if last_segments & (project.estimator_class_names - {cls.name}):
+                continue  # builds component estimators, which validate in turn
+            yield finding(
+                module,
+                fn,
+                self.name,
+                f"{cls.name}.{name} accepts a raw sample but neither calls "
+                "validate_sample, delegates to super(), nor builds a "
+                "validating component estimator "
+                "(repro.core.base.validate_sample is the contract)",
+            )
+
+    def _check_scalar(
+        self,
+        module: ModuleInfo,
+        cls: ast.ClassDef,
+        methods: dict[str, ast.FunctionDef],
+    ) -> Iterator[Finding]:
+        fn = methods.get("selectivity")
+        if fn is None:
+            return
+        called = _called_names(fn)
+        if called & _VALIDATORS_QUERY or "self.selectivities" in called or _calls_super(
+            called, "selectivity"
+        ):
+            return
+        yield finding(
+            module,
+            fn,
+            self.name,
+            f"{cls.name}.selectivity does not validate its query range; call "
+            "validate_query(a, b) or delegate to the validated batch path "
+            "self.selectivities",
+        )
+
+    def _check_batch(
+        self,
+        module: ModuleInfo,
+        cls: ast.ClassDef,
+        methods: dict[str, ast.FunctionDef],
+    ) -> Iterator[Finding]:
+        fn = methods.get("selectivities")
+        if fn is None:
+            return
+        loop = _loops_over_scalar_selectivity(fn)
+        if loop is not None:
+            yield finding(
+                module,
+                loop,
+                self.name,
+                f"{cls.name}.selectivities loops over self.selectivity — the "
+                "scalar path; serve batches through the vectorized contract "
+                "(searchsorted windows + segmented sums) or inherit the base "
+                "fallback instead of redefining it",
+            )
+        called = _called_names(fn)
+        delegates = any(n.endswith(".selectivities") and "." in n for n in called)
+        if (
+            _VALIDATOR_BATCH not in called
+            and not _calls_super(called, "selectivities")
+            and not delegates
+        ):
+            yield finding(
+                module,
+                fn,
+                self.name,
+                f"{cls.name}.selectivities must validate the whole batch up "
+                "front with validate_query_batch (InvalidQueryError before any "
+                "evaluation work) or delegate to a method that does",
+            )

@@ -1,0 +1,122 @@
+"""Rule ``numeric-safety``: floating-point and error-handling hygiene.
+
+Three checks, each targeting a defect class that has bitten numeric
+code in this repo or its exemplars:
+
+* **inexact float equality** — ``x == 0.05`` / ``x != 0.3``: a float
+  literal whose decimal text is *not* exactly representable in binary
+  (its value as a fraction has a non-power-of-two denominator) is
+  already a different number than the author wrote, so ``==`` against
+  it compares rounding artifacts; use ``np.isclose`` /
+  ``math.isclose`` with an explicit tolerance.  *Dyadic* literals
+  (``0.0``, ``0.5``, ``2.5``) are exempt: they are exactly
+  representable, and equality against them is idiomatic for
+  degenerate-case guards (``if weight == 0.0``) and pass-through
+  exactness assertions (``interval.clip(0.5) == 0.5``).
+* **bare except** — ``except:`` swallows ``KeyboardInterrupt`` and
+  ``SystemExit`` and hides real defects behind fallback paths; name
+  the exceptions (at minimum ``except Exception``).
+* **silenced errstate** — ``np.errstate(divide="ignore")`` without an
+  adjacent comment: suppressing IEEE warnings is sometimes right
+  (vectorized guards handle the NaN/inf afterwards) but must say so —
+  any comment on the same line or the line above satisfies the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from decimal import Decimal, InvalidOperation
+from fractions import Fraction
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleInfo, dotted_name, finding
+from repro.analysis.project import ProjectIndex
+
+
+def _literal_text(module: ModuleInfo, node: ast.Constant) -> str | None:
+    line = node.lineno - 1
+    end_line = (node.end_lineno or node.lineno) - 1
+    if line != end_line or line >= len(module.source_lines):
+        return None
+    return module.source_lines[line][node.col_offset : node.end_col_offset]
+
+
+def _is_inexact_float(module: ModuleInfo, node: ast.expr) -> bool:
+    """True for a float literal whose written decimal value is not dyadic."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    if not isinstance(node, ast.Constant):
+        return False
+    value = node.value
+    if not isinstance(value, float) or isinstance(value, bool):
+        return False
+    if value % 1.0 == 0.0:
+        return False
+    text = _literal_text(module, node)
+    if text is not None:
+        try:
+            denominator = Fraction(Decimal(text.replace("_", ""))).denominator
+        except (InvalidOperation, ValueError):
+            return True
+        return denominator & (denominator - 1) != 0
+    return True
+
+
+def _errstate_ignores(node: ast.Call) -> bool:
+    target = dotted_name(node.func)
+    if target is None or target.rsplit(".", 1)[-1] != "errstate":
+        return False
+    return any(
+        isinstance(kw.value, ast.Constant) and kw.value.value == "ignore"
+        for kw in node.keywords
+    )
+
+
+class NumericSafetyRule:
+    name = "numeric-safety"
+    description = (
+        "no equality against inexact float literals, no bare except, no "
+        "unexplained np.errstate(...='ignore')"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        del project
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for op in node.ops:
+                    if not isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    if any(_is_inexact_float(module, x) for x in operands):
+                        yield finding(
+                            module,
+                            node,
+                            self.name,
+                            "equality against a float literal that is not "
+                            "exactly representable in binary; the stored value "
+                            "already differs from the written one — use "
+                            "np.isclose/math.isclose with an explicit tolerance",
+                        )
+                        break
+            elif isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield finding(
+                        module,
+                        node,
+                        self.name,
+                        "bare 'except:' swallows KeyboardInterrupt/SystemExit "
+                        "and hides defects; catch named exceptions (at minimum "
+                        "'except Exception')",
+                    )
+            elif isinstance(node, ast.Call):
+                if _errstate_ignores(node) and not module.has_adjacent_comment(
+                    node.lineno
+                ):
+                    yield finding(
+                        module,
+                        node,
+                        self.name,
+                        "np.errstate(...='ignore') without a justification "
+                        "comment; say on the same line (or the line above) how "
+                        "the suppressed NaN/inf values are handled",
+                    )

@@ -1,0 +1,130 @@
+"""Rule ``seeded-rng``: every random draw must be reproducibly seeded.
+
+The paper's comparisons are only meaningful when every estimator sees
+the same data: a single unseeded generator makes a figure
+unreproducible and turns cross-estimator deltas into noise.  Two
+patterns are flagged:
+
+* ``np.random.default_rng()`` (or with a literal ``None``) — fresh OS
+  entropy; the call must receive an explicit seed expression.  A
+  non-``None`` argument is accepted even when it is a variable: the
+  caller is then responsible for threading a seed through, which is
+  exactly the convention ``Relation.sample(seed=...)`` follows.
+* any *legacy* ``np.random.<name>`` access — the module-level
+  global-state API (``np.random.seed``, ``np.random.normal``,
+  ``np.random.RandomState``...).  Global state is shared across
+  threads, so the parallel harness would make draws order-dependent.
+  Only the modern generator surface (``default_rng``, ``Generator``,
+  ``SeedSequence`` and the bit generators) is allowed.
+
+``from numpy.random import default_rng`` style imports are tracked so
+renamed imports do not evade the check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleInfo, dotted_name, finding
+from repro.analysis.project import ProjectIndex
+
+#: The modern, explicitly-seeded surface of ``numpy.random``.
+_ALLOWED_RANDOM_ATTRS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+
+def _random_module_aliases(tree: ast.Module) -> set[str]:
+    """Names that refer to the ``numpy.random`` module in this file."""
+    aliases = {"np.random", "numpy.random"}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "numpy.random":
+                    aliases.add(item.asname or "numpy.random")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy" and node.level == 0:
+                for item in node.names:
+                    if item.name == "random":
+                        aliases.add(item.asname or "random")
+    return aliases
+
+
+def _default_rng_aliases(tree: ast.Module) -> set[str]:
+    """Bare names bound to ``numpy.random.default_rng`` via imports."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "numpy.random":
+            for item in node.names:
+                if item.name == "default_rng":
+                    names.add(item.asname or "default_rng")
+    return names
+
+
+class SeededRngRule:
+    name = "seeded-rng"
+    description = (
+        "np.random.default_rng(...) must receive an explicit seed; the "
+        "legacy global-state np.random API is forbidden"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        del project
+        random_aliases = _random_module_aliases(module.tree)
+        default_rng_names = _default_rng_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                target = dotted_name(node.func)
+                is_default_rng = target in default_rng_names or (
+                    target is not None
+                    and target.endswith(".default_rng")
+                    and target.rsplit(".", 1)[0] in random_aliases
+                )
+                if is_default_rng and _is_unseeded(node):
+                    yield finding(
+                        module,
+                        node,
+                        self.name,
+                        "default_rng() without an explicit seed draws fresh OS "
+                        "entropy; pass a seed expression (derive one with "
+                        "np.random.SeedSequence if composing seeds)",
+                    )
+            elif isinstance(node, ast.Attribute):
+                target = dotted_name(node)
+                if target is None:
+                    continue
+                head, _, attr = target.rpartition(".")
+                if head in random_aliases and attr not in _ALLOWED_RANDOM_ATTRS:
+                    yield finding(
+                        module,
+                        node,
+                        self.name,
+                        f"legacy global-state RNG access np.random.{attr}; use an "
+                        "explicitly seeded np.random.default_rng(seed) generator",
+                    )
+
+
+def _is_unseeded(call: ast.Call) -> bool:
+    """No positional/keyword seed, or a literal ``None`` seed."""
+    seed: ast.expr | None = None
+    if call.args:
+        seed = call.args[0]
+    else:
+        for kw in call.keywords:
+            if kw.arg == "seed" or kw.arg is None:
+                seed = kw.value
+                break
+    if seed is None:
+        return True
+    return isinstance(seed, ast.Constant) and seed.value is None

@@ -1,0 +1,113 @@
+"""Rule ``telemetry-naming``: recorded names must be registered.
+
+A typo in a metric name (``harness.cel``) does not crash anything — it
+silently splits a series and every dashboard, perf gate and manifest
+aggregation downstream quietly loses data.  The registry in
+:mod:`repro.telemetry.names` is the single source of truth; this rule
+checks, at lint time, every *string literal* (and the static head of
+every f-string) passed as the first argument to::
+
+    <anything>.metrics.inc(name, ...)
+    <anything>.metrics.observe(name, ...)
+    <anything>.metrics.time(name)
+    <anything>.span(name, ...)
+
+Dynamic segments are fine — ``f"harness.cell.seconds.{tag}"`` is
+checked by its static head against the registered prefixes.  A name
+built entirely at runtime cannot be checked and is skipped.
+
+The telemetry package itself is exempt: it implements the recording
+machinery (e.g. the ``span.<name>`` mirror series) rather than naming
+new instrumentation.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleInfo, dotted_name, finding
+from repro.analysis.project import ProjectIndex
+from repro.telemetry.names import is_registered, is_registered_prefix
+
+_METRIC_METHODS = frozenset({"inc", "observe", "time"})
+
+
+def _recording_call(node: ast.Call) -> str | None:
+    """Return ``"metrics.<m>"`` / ``"span"`` when ``node`` records telemetry."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    if func.attr == "span":
+        receiver = dotted_name(func.value)
+        # `<telemetry-ish>.span(...)`: accept any receiver whose name
+        # mentions telemetry/session (telemetry.span, session.span, t.span).
+        if receiver is not None and not receiver.endswith(".metrics"):
+            return "span"
+        return None
+    if func.attr in _METRIC_METHODS:
+        receiver = dotted_name(func.value)
+        if receiver is not None and (
+            receiver == "metrics" or receiver.endswith(".metrics")
+        ):
+            return f"metrics.{func.attr}"
+    return None
+
+
+def _static_parts(arg: ast.expr) -> tuple[str, bool] | None:
+    """``(static_text, is_complete)`` for a literal or f-string name arg."""
+    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+        return arg.value, True
+    if isinstance(arg, ast.JoinedStr):
+        head: list[str] = []
+        complete = True
+        for value in arg.values:
+            if isinstance(value, ast.Constant) and isinstance(value.value, str):
+                head.append(value.value)
+            else:
+                complete = False
+                break
+        return "".join(head), complete
+    return None
+
+
+def _in_telemetry_package(module: ModuleInfo) -> bool:
+    parts = module.path.parts
+    return "telemetry" in parts and "repro" in parts
+
+
+class TelemetryNamingRule:
+    name = "telemetry-naming"
+    description = (
+        "span/metric name literals must match the registry in "
+        "repro.telemetry.names (typos silently split series)"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        del project
+        if _in_telemetry_package(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            kind = _recording_call(node)
+            if kind is None or not node.args:
+                continue
+            parts = _static_parts(node.args[0])
+            if parts is None:
+                continue  # fully dynamic name; unverifiable statically
+            static, complete = parts
+            if complete:
+                ok = is_registered(static)
+            else:
+                ok = is_registered_prefix(static)
+            if not ok:
+                shown = static if complete else static + "{…}"
+                yield finding(
+                    module,
+                    node,
+                    self.name,
+                    f"{kind}({shown!r}) is not in the telemetry name registry; "
+                    "fix the typo or register the name in "
+                    "repro/telemetry/names.py (see docs/OBSERVABILITY.md)",
+                )

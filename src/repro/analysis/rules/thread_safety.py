@@ -1,0 +1,119 @@
+"""Rule ``thread-safety``: module-level mutable state needs a lock.
+
+The experiment harness runs cells on a thread pool and the planned
+serving tier is concurrent by construction, so any module in their
+import closure may execute on several threads at once.  A module-level
+*empty* mutable container (``_cache = {}``, ``_registry = []``) is
+almost always a mutation target and therefore a data race waiting for
+load.
+
+Flagged: module-level bindings of empty ``dict``/``list``/``set``
+displays or bare constructor calls (``dict()``, ``list()``, ``set()``,
+``collections.defaultdict(...)``, ``collections.deque()``), unless
+
+* the module also binds a ``threading.Lock()``/``RLock()`` at module
+  level (evidence of a lock discipline — the PR-4 telemetry fixes
+  established exactly this pattern), or
+* the value is ``threading.local()`` (per-thread state is safe), or
+* the binding sits inside ``if TYPE_CHECKING:``.
+
+*Populated* literals (``_ALIASES = {"ci": "iw"}``) are treated as
+read-only lookup tables and left alone — the convention this codebase
+follows — so the rule targets accumulating state, not data tables.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleInfo, dotted_name, finding
+from repro.analysis.project import ProjectIndex
+
+_MUTABLE_CONSTRUCTORS = frozenset({"dict", "list", "set", "defaultdict", "deque", "OrderedDict", "Counter"})
+_LOCK_CONSTRUCTORS = frozenset({"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"})
+
+
+def _last_segment(node: ast.expr) -> str | None:
+    name = dotted_name(node)
+    return None if name is None else name.rsplit(".", 1)[-1]
+
+
+def _is_empty_mutable(value: ast.expr) -> bool:
+    if isinstance(value, (ast.Dict,)) and not value.keys:
+        return True
+    if isinstance(value, (ast.List, ast.Set)) and not value.elts:
+        return True
+    if isinstance(value, ast.Call):
+        name = _last_segment(value.func)
+        if name in _MUTABLE_CONSTRUCTORS:
+            # defaultdict(list) is empty-at-birth regardless of args;
+            # dict(a=1) / list(seq) are populated tables.
+            if name in {"defaultdict", "deque", "OrderedDict", "Counter"}:
+                return True
+            return not value.args and not value.keywords
+    return False
+
+
+def _module_has_lock(tree: ast.Module) -> bool:
+    for node in tree.body:
+        values: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            values = [node.value]
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            values = [node.value]
+        for value in values:
+            if isinstance(value, ast.Call) and _last_segment(value.func) in _LOCK_CONSTRUCTORS:
+                return True
+    return False
+
+
+def _is_thread_local(value: ast.expr) -> bool:
+    return isinstance(value, ast.Call) and _last_segment(value.func) == "local"
+
+
+def _module_level_statements(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Top-level statements, descending into plain ``if`` blocks except
+    ``if TYPE_CHECKING:``."""
+    for node in tree.body:
+        if isinstance(node, ast.If):
+            test = dotted_name(node.test)
+            if test is not None and test.rsplit(".", 1)[-1] == "TYPE_CHECKING":
+                continue
+            yield from node.body
+            yield from node.orelse
+        else:
+            yield node
+
+
+class ThreadSafetyRule:
+    name = "thread-safety"
+    description = (
+        "module-level empty mutable containers must be lock-guarded "
+        "(module-level Lock) or thread-local"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        del project
+        has_lock = _module_has_lock(module.tree)
+        for node in _module_level_statements(module.tree):
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            if target is None or value is None or not isinstance(target, ast.Name):
+                continue
+            if _is_thread_local(value) or has_lock:
+                continue
+            if _is_empty_mutable(value):
+                yield finding(
+                    module,
+                    node,
+                    self.name,
+                    f"module-level mutable container {target.id!r} without a "
+                    "module-level lock; the parallel harness imports this on "
+                    "worker threads — guard it with threading.Lock, make it "
+                    "threading.local(), or justify read-only use via pragma",
+                )

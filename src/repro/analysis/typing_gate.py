@@ -1,0 +1,64 @@
+"""The strict-typing gate: ``mypy --strict`` over ``src/repro``.
+
+The analyzer's AST rules catch project-specific invariants; the typing
+gate catches the general class (wrong argument order, ``None`` leaking
+into arithmetic, mismatched array/scalar returns).  ``repro`` ships a
+``py.typed`` marker and is expected to pass ``mypy --strict`` with the
+configuration in ``pyproject.toml``.
+
+mypy is an optional tool dependency (the ``test`` extra).  When it is
+not importable the gate reports *skipped* rather than failing, so the
+AST analyzer remains usable in minimal environments; CI always
+installs mypy, so the gate is enforced where it matters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib.util
+import subprocess
+import sys
+from typing import Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class TypingGateResult:
+    """Outcome of one typing-gate run."""
+
+    status: str  # "passed" | "failed" | "skipped"
+    output: str
+
+    @property
+    def ok(self) -> bool:
+        """Whether the gate does not block (passed or tool unavailable)."""
+        return self.status != "failed"
+
+
+def mypy_available() -> bool:
+    """Whether mypy can be imported in this environment."""
+    return importlib.util.find_spec("mypy") is not None
+
+
+def run_typing_gate(
+    targets: Sequence[str] = (), *, strict: bool = False
+) -> TypingGateResult:
+    """Run mypy; skip gracefully when not installed.
+
+    With no ``targets``, mypy checks the packages configured in
+    ``pyproject.toml`` (``[tool.mypy] packages = ["repro"]``), whose
+    ``strict = true`` plus documented relaxations are the project
+    contract.  Pass ``strict=True`` only to force the CLI ``--strict``
+    flag on top of (overriding) the configuration.
+    """
+    if not mypy_available():
+        return TypingGateResult(
+            status="skipped",
+            output="mypy is not installed; install the 'test' extra to run the typing gate",
+        )
+    command = [sys.executable, "-m", "mypy"]
+    if strict:
+        command.append("--strict")
+    command.extend(targets)
+    proc = subprocess.run(command, capture_output=True, text=True, check=False)
+    status = "passed" if proc.returncode == 0 else "failed"
+    return TypingGateResult(status=status, output=proc.stdout + proc.stderr)

@@ -24,7 +24,7 @@ import abc
 import functools
 import threading
 import time
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from repro.telemetry import get_telemetry
 
 if TYPE_CHECKING:
     from repro.data.domain import Interval
+    from repro.telemetry.runtime import Telemetry
 
 
 class EstimatorError(Exception):
@@ -48,6 +49,18 @@ class InvalidSampleError(EstimatorError):
 
 class InvalidQueryError(EstimatorError):
     """A query range is malformed (``a > b``, NaN endpoints, ...)."""
+
+
+class MissingSeedError(EstimatorError):
+    """A random draw was requested without an explicit seed.
+
+    Every random draw in this codebase must be reproducibly seeded —
+    the paper's estimator comparisons are only meaningful when every
+    estimator sees the same data, and an unseeded draw makes a figure
+    unreproducible.  Pass an integer seed or a ready
+    ``np.random.Generator`` (derive composite seeds with
+    ``np.random.SeedSequence``).
+    """
 
 
 def validate_sample(sample: np.ndarray, domain: "Interval | None" = None) -> np.ndarray:
@@ -167,7 +180,7 @@ def _set_depth(value: int) -> None:
     _query_state.depth = value
 
 
-def _observe_smoothing(telemetry, estimator) -> None:
+def _observe_smoothing(telemetry: "Telemetry", estimator: object) -> None:
     """Record the smoothing parameter the finished build chose."""
     cls_name = type(estimator).__name__
     for attribute, metric in (("bandwidth", "estimator.bandwidth"), ("bin_count", "estimator.bins")):
@@ -179,9 +192,9 @@ def _observe_smoothing(telemetry, estimator) -> None:
             telemetry.metrics.observe(f"{metric}.{cls_name}", float(value))
 
 
-def _wrap_build(fn):
+def _wrap_build(fn: Callable[..., Any]) -> Callable[..., Any]:
     @functools.wraps(fn)
-    def build(self, *args, **kwargs):
+    def build(self: Any, *args: Any, **kwargs: Any) -> Any:
         telemetry = get_telemetry()
         if not telemetry.enabled or telemetry.in_span("estimator.build"):
             return fn(self, *args, **kwargs)
@@ -193,13 +206,13 @@ def _wrap_build(fn):
         _observe_smoothing(telemetry, self)
         return result
 
-    build.__telemetry_wrapped__ = True
+    build.__telemetry_wrapped__ = True  # type: ignore[attr-defined]
     return build
 
 
-def _wrap_selectivity(fn):
+def _wrap_selectivity(fn: Callable[..., float]) -> Callable[..., float]:
     @functools.wraps(fn)
-    def selectivity(self, a, b):
+    def selectivity(self: Any, a: float, b: float) -> float:
         telemetry = get_telemetry()
         if not telemetry.enabled or _depth():
             return fn(self, a, b)
@@ -216,13 +229,13 @@ def _wrap_selectivity(fn):
         telemetry.metrics.observe(f"estimator.query.latency.{cls_name}", elapsed)
         return result
 
-    selectivity.__telemetry_wrapped__ = True
+    selectivity.__telemetry_wrapped__ = True  # type: ignore[attr-defined]
     return selectivity
 
 
-def _wrap_selectivities(fn):
+def _wrap_selectivities(fn: Callable[..., np.ndarray]) -> Callable[..., np.ndarray]:
     @functools.wraps(fn)
-    def selectivities(self, a, b):
+    def selectivities(self: Any, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         telemetry = get_telemetry()
         if not telemetry.enabled or _depth():
             return fn(self, a, b)
@@ -244,7 +257,7 @@ def _wrap_selectivities(fn):
             )
         return result
 
-    selectivities.__telemetry_wrapped__ = True
+    selectivities.__telemetry_wrapped__ = True  # type: ignore[attr-defined]
     return selectivities
 
 
@@ -255,7 +268,7 @@ _INSTRUMENTED = {
 }
 
 
-def _instrument_estimator_class(cls) -> None:
+def _instrument_estimator_class(cls: type) -> None:
     """Wrap the methods ``cls`` itself defines (inherited ones are
     already wrapped in the class that defined them)."""
     for name, wrapper in _INSTRUMENTED.items():
@@ -282,7 +295,7 @@ class SelectivityEstimator(abc.ABC):
     metrics (no-ops while telemetry is disabled, the default).
     """
 
-    def __init_subclass__(cls, **kwargs) -> None:
+    def __init_subclass__(cls, **kwargs: Any) -> None:
         super().__init_subclass__(**kwargs)
         _instrument_estimator_class(cls)
 

@@ -21,6 +21,8 @@ which is why the method is a genuine hybrid.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Callable
+
 import numpy as np
 
 from repro.core.base import (
@@ -35,6 +37,9 @@ from repro.bandwidth.scale import clamp_bandwidth
 from repro.core.changepoints import detect_change_points
 from repro.core.kernel.boundary import make_kernel_estimator
 from repro.data.domain import Interval
+
+if TYPE_CHECKING:
+    from repro.core.kernel.estimator import KernelSelectivityEstimator
 
 #: Bins with fewer samples than this cannot support a kernel estimate
 #: and fall back to the uniform-within-bin assumption.
@@ -98,7 +103,7 @@ class HybridEstimator(DensityEstimator):
         max_changepoints: int = 8,
         min_bin_fraction: float = 0.05,
         boundary: str = "kernel",
-        bandwidth_rule=None,
+        bandwidth_rule: Callable[[np.ndarray], float] | None = None,
         changepoint_kwargs: dict | None = None,
     ) -> None:
         if not 0.0 < min_bin_fraction < 1.0:
@@ -178,8 +183,8 @@ class HybridEstimator(DensityEstimator):
         in_bin: np.ndarray,
         interval: Interval,
         boundary: str,
-        bandwidth_rule,
-    ):
+        bandwidth_rule: Callable[[np.ndarray], float],
+    ) -> "_UniformBin | KernelSelectivityEstimator":
         if in_bin.size < MIN_KERNEL_SAMPLES:
             return _UniformBin(interval)
         try:
@@ -200,7 +205,7 @@ class HybridEstimator(DensityEstimator):
         return make_kernel_estimator(in_bin, bandwidth, interval, boundary=boundary)
 
     @staticmethod
-    def _bin_scale(estimator, interval: Interval) -> float:
+    def _bin_scale(estimator: "_UniformBin | KernelSelectivityEstimator", interval: Interval) -> float:
         """Renormalization factor making the bin's mass exactly 1.
 
         Boundary-kernel estimates are consistent but not densities

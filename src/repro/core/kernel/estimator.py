@@ -31,6 +31,8 @@ for the corrected estimators.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
 from repro.core.base import (
@@ -57,7 +59,14 @@ def _validate_bandwidth(bandwidth: float) -> float:
     return bandwidth
 
 
-def segment_window_sums(lo: np.ndarray, hi: np.ndarray, term) -> np.ndarray:
+#: ``pick`` broadcasts a per-query array onto the flattened window
+#: layout; a window term maps ``(pick, sample_idx)`` to per-element
+#: kernel contributions.
+PickFn = Callable[[np.ndarray], np.ndarray]
+WindowTerm = Callable[[PickFn, np.ndarray], np.ndarray]
+
+
+def segment_window_sums(lo: np.ndarray, hi: np.ndarray, term: WindowTerm) -> np.ndarray:
     """Per-window sums of a kernel term over sorted-sample windows.
 
     For each window ``j`` spanning sample indices ``[lo[j], hi[j])``,
@@ -108,7 +117,12 @@ def segment_window_sums(lo: np.ndarray, hi: np.ndarray, term) -> np.ndarray:
                 lo[start:stop] - prefix, chunk_counts
             )
 
-            def pick(arr, _s=start, _e=stop, _c=chunk_counts):
+            def pick(
+                arr: np.ndarray,
+                _s: int = start,
+                _e: int = stop,
+                _c: np.ndarray = chunk_counts,
+            ) -> np.ndarray:
                 return np.repeat(arr[_s:_e], _c)
 
             values = term(pick, sample_idx)
@@ -191,7 +205,7 @@ class KernelSelectivityEstimator(DensityEstimator):
         hi = np.searchsorted(sample, x + reach, side="right")
         inv_h = 1.0 / h
 
-        def term(pick, i):
+        def term(pick: PickFn, i: np.ndarray) -> np.ndarray:
             t = pick(x)
             t -= sample[i]
             t *= inv_h

@@ -122,5 +122,5 @@ class IntegerDomain(Interval):
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"IntegerDomain(p={self.p})"
 
-    def __reduce__(self):
+    def __reduce__(self) -> "tuple[type[IntegerDomain], tuple[int]]":
         return (IntegerDomain, (self.p,))

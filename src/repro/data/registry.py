@@ -130,10 +130,23 @@ def spec(name: str) -> DatasetSpec:
     return _SPECS[key]
 
 
+def derive_seed_sequence(seed: int, seed_offset: int) -> np.random.SeedSequence:
+    """Mix the realization seed with a dataset's stream offset.
+
+    ``SeedSequence`` guarantees that distinct ``(seed, seed_offset)``
+    pairs yield statistically independent streams — unlike arithmetic
+    mixing (``seed * K + offset``), which collides whenever two pairs
+    land on the same integer.
+    """
+    if seed < 0:
+        raise ValueError(f"realization seed must be non-negative, got {seed}")
+    return np.random.SeedSequence(entropy=seed, spawn_key=(seed_offset,))
+
+
 @functools.lru_cache(maxsize=32)
 def _load_cached(key: str, seed: int) -> Relation:
     dataset = _SPECS[key]
-    rng = np.random.default_rng(seed * 1_000_003 + dataset.seed_offset)
+    rng = np.random.default_rng(derive_seed_sequence(seed, dataset.seed_offset))
     values = dataset.generator(dataset.p, dataset.n_records, rng)
     return Relation(values, IntegerDomain(dataset.p), name=dataset.name)
 

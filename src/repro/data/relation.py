@@ -14,15 +14,37 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.base import InvalidQueryError, InvalidSampleError, validate_query
+from repro.core.base import (
+    InvalidQueryError,
+    InvalidSampleError,
+    MissingSeedError,
+    validate_query,
+)
 from repro.data.domain import Interval
 
 
-def _resolve_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
-    """Accept a seed, a ready Generator, or ``None`` (fresh entropy)."""
+def resolve_rng(
+    seed: "int | np.random.SeedSequence | np.random.Generator | None",
+) -> np.random.Generator:
+    """Turn an explicit seed into a :class:`numpy.random.Generator`.
+
+    Accepts an integer seed, a :class:`numpy.random.SeedSequence`, or a
+    ready generator.  ``None`` is rejected: an unseeded draw would make
+    the experiment that requested it unreproducible, so every call site
+    must say which stream it wants.
+    """
     if isinstance(seed, np.random.Generator):
         return seed
+    if seed is None:
+        raise MissingSeedError(
+            "random draw requested without a seed; pass an explicit integer "
+            "seed or an np.random.Generator so the result is reproducible"
+        )
     return np.random.default_rng(seed)
+
+
+#: Backwards-compatible alias for the pre-hardening private name.
+_resolve_rng = resolve_rng
 
 
 class Relation:
@@ -97,7 +119,9 @@ class Relation:
         """Draw ``n`` records uniformly without replacement.
 
         This is the paper's sampling protocol (§5.1.1).  Returns a new
-        ``float64`` array; order is random.
+        ``float64`` array; order is random.  ``seed`` is required in
+        practice: leaving it ``None`` raises :class:`MissingSeedError`
+        so that no experiment can depend on an unseeded draw.
         """
         if n <= 0:
             raise InvalidQueryError(f"sample size must be positive, got {n}")
@@ -105,7 +129,7 @@ class Relation:
             raise InvalidQueryError(
                 f"cannot draw {n} samples without replacement from {self.size} records"
             )
-        rng = _resolve_rng(seed)
+        rng = resolve_rng(seed)
         index = rng.choice(self.size, size=n, replace=False)
         return self._sorted[index].copy()
 

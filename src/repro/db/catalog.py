@@ -41,12 +41,10 @@ FAMILIES = {
 _STATISTICS_CACHE = LRUCache(capacity=256, name="statistics")
 
 
-def _seed_cache_key(seed) -> "tuple | None":
+def _seed_cache_key(seed: "int | np.integer | np.random.Generator | None") -> "tuple | None":
     """Hashable cache key for a sampling seed, or ``None`` if the seed
-    cannot key a cache (``None`` / generator seeds draw fresh random
-    samples, so reusing a cached build would change semantics)."""
-    if seed is None:
-        return None
+    cannot key a cache (generator seeds advance private state between
+    draws, so reusing a cached build would change semantics)."""
     if isinstance(seed, (int, np.integer)):
         return ("int", int(seed))
     return None
@@ -87,7 +85,7 @@ class Catalog:
         self,
         table: Table,
         joint: "list[tuple[str, str]] | None" = None,
-        seed=None,
+        seed: "int | np.random.Generator | None" = None,
     ) -> None:
         """Collect statistics for a table (replacing any previous ones).
 
@@ -99,7 +97,11 @@ class Catalog:
             Column pairs to additionally cover with joint 2-D kernel
             statistics (for correlated attributes).
         seed:
-            Sampling seed.
+            Sampling seed: an integer (cacheable) or a ready
+            ``np.random.Generator`` (bypasses the statistics cache).
+            Required — ``None`` raises
+            :class:`~repro.core.base.MissingSeedError` when the scan
+            draws its sample, so every ANALYZE is reproducible.
         """
         n = min(self._sample_size, table.row_count)
         seed_key = _seed_cache_key(seed)

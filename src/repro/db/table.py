@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.core.base import InvalidQueryError, InvalidSampleError, validate_query
 from repro.data.domain import Interval
-from repro.data.relation import _resolve_rng
+from repro.data.relation import resolve_rng
 
 
 class Table:
@@ -127,7 +127,9 @@ class Table:
             mask &= (values >= a) & (values <= b)
         return int(np.count_nonzero(mask))
 
-    def sample_rows(self, n: int, seed=None) -> "dict[str, np.ndarray]":
+    def sample_rows(
+        self, n: int, seed: "int | np.random.Generator | None" = None
+    ) -> "dict[str, np.ndarray]":
         """Row-aligned sample without replacement across all columns."""
         if n <= 0:
             raise InvalidQueryError(f"sample size must be positive, got {n}")
@@ -135,7 +137,7 @@ class Table:
             raise InvalidQueryError(
                 f"cannot draw {n} rows without replacement from {self._rows}"
             )
-        rng = _resolve_rng(seed)
+        rng = resolve_rng(seed)
         index = rng.choice(self._rows, size=n, replace=False)
         return {column: values[index].copy() for column, values in self._data.items()}
 

@@ -178,7 +178,7 @@ def kernel(
 def hybrid(
     sample: np.ndarray,
     domain: Interval,
-    **kwargs,
+    **kwargs: object,
 ) -> HybridEstimator:
     """The paper's hybrid histogram-kernel estimator."""
     return HybridEstimator(sample, domain, **kwargs)

@@ -72,7 +72,7 @@ class TruncatedDensity(abc.ABC):
 class NormalTruth(TruncatedDensity):
     """Normal(mean, sigma) truncated to the domain — the ``n(p)`` model."""
 
-    def __init__(self, domain: Interval, mean: float | None = None, sigma: float | None = None):
+    def __init__(self, domain: Interval, mean: float | None = None, sigma: float | None = None) -> None:
         self._mean = domain.center if mean is None else float(mean)
         # Default: the library's anchored sigma (1/8 of the p=20 width).
         if sigma is None:
@@ -82,20 +82,20 @@ class NormalTruth(TruncatedDensity):
         self._sigma = float(sigma)
         super().__init__(domain)
 
-    def _raw_pdf(self, x):
+    def _raw_pdf(self, x: np.ndarray) -> np.ndarray:
         return stats.norm.pdf(x, self._mean, self._sigma)
 
-    def _raw_cdf(self, x):
+    def _raw_cdf(self, x: np.ndarray) -> np.ndarray:
         return stats.norm.cdf(x, self._mean, self._sigma)
 
-    def _raw_ppf(self, q):
+    def _raw_ppf(self, q: np.ndarray) -> np.ndarray:
         return stats.norm.ppf(q, self._mean, self._sigma)
 
 
 class ExponentialTruth(TruncatedDensity):
     """Exponential(scale) truncated to the domain — the ``e(p)`` model."""
 
-    def __init__(self, domain: Interval, scale: float | None = None):
+    def __init__(self, domain: Interval, scale: float | None = None) -> None:
         if scale is None:
             from repro.data.synthetic import EXPONENTIAL_SCALE_FRACTION, _REFERENCE_WIDTH
 
@@ -103,24 +103,24 @@ class ExponentialTruth(TruncatedDensity):
         self._scale = float(scale)
         super().__init__(domain)
 
-    def _raw_pdf(self, x):
+    def _raw_pdf(self, x: np.ndarray) -> np.ndarray:
         return stats.expon.pdf(x, scale=self._scale)
 
-    def _raw_cdf(self, x):
+    def _raw_cdf(self, x: np.ndarray) -> np.ndarray:
         return stats.expon.cdf(x, scale=self._scale)
 
-    def _raw_ppf(self, q):
+    def _raw_ppf(self, q: np.ndarray) -> np.ndarray:
         return stats.expon.ppf(q, scale=self._scale)
 
 
 class UniformTruth(TruncatedDensity):
     """Uniform over the domain — the ``u(p)`` model."""
 
-    def _raw_pdf(self, x):
+    def _raw_pdf(self, x: np.ndarray) -> np.ndarray:
         return stats.uniform.pdf(x, self._domain.low, self._domain.width)
 
-    def _raw_cdf(self, x):
+    def _raw_cdf(self, x: np.ndarray) -> np.ndarray:
         return stats.uniform.cdf(x, self._domain.low, self._domain.width)
 
-    def _raw_ppf(self, q):
+    def _raw_ppf(self, q: np.ndarray) -> np.ndarray:
         return stats.uniform.ppf(q, self._domain.low, self._domain.width)

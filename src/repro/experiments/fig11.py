@@ -16,7 +16,7 @@ from repro.bandwidth.normal_scale import kernel_bandwidth
 from repro.bandwidth.oracle import default_bandwidth_grid, oracle_bandwidth
 from repro.bandwidth.plugin import plugin_bandwidth
 from repro.bandwidth.scale import clamp_bandwidth
-from repro.core.kernel import make_kernel_estimator
+from repro.core.kernel import KernelSelectivityEstimator, make_kernel_estimator
 from repro.experiments.harness import DEFAULT, ExperimentConfig, load_context
 from repro.experiments.reporting import FigureResult, make_result
 from repro.workload.metrics import mean_relative_error
@@ -29,7 +29,7 @@ def run(config: ExperimentConfig = DEFAULT) -> FigureResult:
         context = load_context(name, config)
         sample, domain, queries = context.sample, context.relation.domain, context.queries
 
-        def factory(h: float):
+        def factory(h: float) -> KernelSelectivityEstimator:
             return make_kernel_estimator(sample, h, domain, boundary="kernel")
 
         h_ns = clamp_bandwidth(kernel_bandwidth(sample), domain.width)

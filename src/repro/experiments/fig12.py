@@ -15,6 +15,8 @@ and all methods are roughly tied on the census file.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.bandwidth.plugin import plugin_bandwidth
 from repro.bandwidth.scale import clamp_bandwidth
 from repro.core.histogram import AverageShiftedHistogram
@@ -26,7 +28,7 @@ from repro.experiments.harness import DEFAULT, ExperimentConfig, load_context, r
 from repro.experiments.reporting import FigureResult, make_result
 from repro.workload.metrics import mean_relative_error
 
-def _per_bin_plugin_bandwidth(bin_sample):
+def _per_bin_plugin_bandwidth(bin_sample: np.ndarray) -> float:
     """The paper: "the bandwidth of the kernel estimator is
     individually chosen for every bin" — per-bin direct plug-in."""
     return plugin_bandwidth(bin_sample, steps=2)

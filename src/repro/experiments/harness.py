@@ -178,7 +178,7 @@ def run_cells(
     """
     telemetry = get_telemetry()
 
-    def run_one(cell) -> typing.Any:
+    def run_one(cell: typing.Any) -> typing.Any:
         tag = label(cell)
         with telemetry.span("harness.cell", cell=tag) as record:
             result = evaluate(cell)

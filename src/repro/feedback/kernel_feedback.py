@@ -31,6 +31,7 @@ from repro.core.base import (
     validate_sample,
     validate_query_batch,
 )
+from repro.core.kernel.estimator import PickFn, segment_window_sums
 from repro.core.kernel.functions import EPANECHNIKOV, KernelFunction, get_kernel
 from repro.data.domain import Interval
 
@@ -135,13 +136,44 @@ class FeedbackKernelEstimator(DensityEstimator):
         total = float(self._weights[self._source] @ mass)
         return float(np.clip(total, 0.0, 1.0))
 
+    def _weighted_cdf_sums(self, x: np.ndarray) -> np.ndarray:
+        """``sum_i w_i * C((x_j - X_i) / h)`` for every point of flat ``x``.
+
+        The weighted analogue of the plain kernel estimator's windowed
+        CDF sums: points more than one kernel reach below ``x``
+        contribute their full weight (via a prefix sum over the sorted
+        points), points above contribute 0, and only the window around
+        ``x`` evaluates the kernel primitive.  The weight prefix is
+        recomputed per call because :meth:`observe` reweights.
+        """
+        points, h = self._points, self._h
+        weights = self._weights[self._source]
+        prefix = np.concatenate(([0.0], np.cumsum(weights)))
+        reach = h * self._kernel.support
+        lo = np.searchsorted(points, x - reach, side="left")
+        hi = np.searchsorted(points, x + reach, side="right")
+        inv_h = 1.0 / h
+
+        def term(pick: PickFn, i: np.ndarray) -> np.ndarray:
+            t = pick(x)
+            t -= points[i]
+            t *= inv_h
+            return weights[i] * self._kernel.cdf(t)
+
+        return prefix[lo] + segment_window_sums(lo, hi, term)
+
     def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorized weighted-kernel batch path (no per-query loop)."""
         a, b = validate_query_batch(a, b)
-        out = np.empty(np.broadcast(a, b).shape, dtype=np.float64)
-        flat_a, flat_b, flat_out = np.ravel(a), np.ravel(b), out.ravel()
-        for j in range(flat_a.size):
-            flat_out[j] = self.selectivity(flat_a[j], flat_b[j])
-        return out
+        shape = np.broadcast(a, b).shape
+        lo = np.maximum(np.ravel(np.broadcast_to(a, shape)), self._domain.low)
+        hi = np.minimum(np.ravel(np.broadcast_to(b, shape)), self._domain.high)
+        nonempty = lo <= hi
+        lo = np.where(nonempty, lo, self._domain.low)
+        hi = np.where(nonempty, hi, self._domain.low)
+        totals = self._weighted_cdf_sums(hi) - self._weighted_cdf_sums(lo)
+        out = np.where(nonempty, np.clip(totals, 0.0, 1.0), 0.0)
+        return out.reshape(shape)
 
     def density(self, x: np.ndarray) -> np.ndarray:
         x = np.atleast_1d(np.asarray(x, dtype=np.float64))
@@ -170,7 +202,10 @@ class FeedbackKernelEstimator(DensityEstimator):
             )
         estimate = self.selectivity(a, b)
         error = true_selectivity - estimate
-        self._updates += 1
+        # This estimator is *explicitly* adaptive: observe() is its whole
+        # point, callers own one instance per workload, and it is never
+        # served from the shared statistics cache.
+        self._updates += 1  # repro: allow[frozen-after-build] — adaptive by design; not cache-shared
         if estimate <= 0.0 and true_selectivity <= 0.0:
             return float(error)
 
@@ -188,10 +223,10 @@ class FeedbackKernelEstimator(DensityEstimator):
             # Nothing currently contributes but the truth is positive:
             # boost the nearest samples uniformly by their proximity.
             factors = 1.0 + self._rate * inside_fraction
-        self._weights = self._weights * factors
+        self._weights = self._weights * factors  # repro: allow[frozen-after-build] — adaptive by design; not cache-shared
         total = self._weights.sum()
         if total > 0:
-            self._weights /= total
+            self._weights /= total  # repro: allow[frozen-after-build] — adaptive by design; not cache-shared
         return float(error)
 
     def observe_workload(

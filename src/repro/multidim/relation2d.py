@@ -11,7 +11,7 @@ import numpy as np
 
 from repro.core.base import InvalidQueryError, InvalidSampleError, validate_query
 from repro.data.domain import Interval
-from repro.data.relation import _resolve_rng
+from repro.data.relation import resolve_rng
 from repro.data.spatial import GaussCluster, GridSpikes, NarrowBand, UniformBlock
 
 
@@ -95,7 +95,7 @@ class Relation2D:
         """Exact instance selectivity of the rectangle query."""
         return self.count(ax, bx, ay, by) / self.size
 
-    def sample(self, n: int, seed=None) -> np.ndarray:
+    def sample(self, n: int, seed: "int | np.random.Generator | None" = None) -> np.ndarray:
         """Draw ``n`` records uniformly without replacement, shape (n, 2)."""
         if n <= 0:
             raise InvalidQueryError(f"sample size must be positive, got {n}")
@@ -103,7 +103,7 @@ class Relation2D:
             raise InvalidQueryError(
                 f"cannot draw {n} samples without replacement from {self.size} records"
             )
-        rng = _resolve_rng(seed)
+        rng = resolve_rng(seed)
         index = rng.choice(self.size, size=n, replace=False)
         return self._points[index].copy()
 

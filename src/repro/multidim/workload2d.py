@@ -8,12 +8,19 @@ counts attached, and the paper's mean relative error.
 from __future__ import annotations
 
 import dataclasses
+from typing import Protocol
 
 import numpy as np
 
 from repro.core.base import InvalidQueryError
-from repro.data.relation import _resolve_rng
+from repro.data.relation import resolve_rng
 from repro.multidim.relation2d import Relation2D
+
+
+class Selectivity2D(Protocol):
+    """Anything that estimates rectangle-query selectivities."""
+
+    def selectivity(self, ax: float, bx: float, ay: float, by: float) -> float: ...
 
 
 @dataclasses.dataclass(frozen=True)
@@ -35,7 +42,7 @@ def generate_query_file_2d(
     relation: Relation2D,
     size_fraction: float,
     n_queries: int = 300,
-    seed=None,
+    seed: "int | np.random.Generator | None" = None,
 ) -> QueryFile2D:
     """Square rectangle queries whose *area* is ``size_fraction`` of
     the domain area, centered on records, rejected at the boundary."""
@@ -43,7 +50,7 @@ def generate_query_file_2d(
         raise InvalidQueryError(f"size_fraction must be in (0, 1), got {size_fraction}")
     if n_queries <= 0:
         raise InvalidQueryError(f"n_queries must be positive, got {n_queries}")
-    rng = _resolve_rng(seed)
+    rng = resolve_rng(seed)
     dom_x, dom_y = relation.domain_x, relation.domain_y
     side = np.sqrt(size_fraction)
     half_x = 0.5 * side * dom_x.width
@@ -81,7 +88,7 @@ def generate_query_file_2d(
     return QueryFile2D(ax, bx, ay, by, counts, relation.size)
 
 
-def mean_relative_error_2d(estimator, queries: QueryFile2D) -> float:
+def mean_relative_error_2d(estimator: "Selectivity2D", queries: QueryFile2D) -> float:
     """The paper's MRE over a 2-D query file (zero-result queries skipped)."""
     errors = []
     for i in range(len(queries)):

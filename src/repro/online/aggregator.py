@@ -27,7 +27,7 @@ from repro.core.base import InvalidQueryError, InvalidSampleError, validate_quer
 from repro.telemetry import get_telemetry
 from repro.core.kernel.estimator import KernelSelectivityEstimator
 from repro.data.domain import Interval
-from repro.data.relation import Relation, _resolve_rng
+from repro.data.relation import Relation, resolve_rng
 
 
 @dataclasses.dataclass(frozen=True)
@@ -76,12 +76,12 @@ class OnlineAggregator:
     def __init__(
         self,
         relation: Relation,
-        seed=None,
+        seed: "int | np.random.Generator | None" = None,
         confidence: float = 0.95,
     ) -> None:
         if not 0.5 < confidence < 1.0:
             raise InvalidQueryError(f"confidence must be in (0.5, 1), got {confidence}")
-        rng = _resolve_rng(seed)
+        rng = resolve_rng(seed)
         self._order = rng.permutation(relation.size)
         self._relation = relation
         self._cursor = 0
@@ -181,7 +181,7 @@ class OnlineKernelSelectivity:
     def __init__(
         self,
         relation: Relation,
-        seed=None,
+        seed: "int | np.random.Generator | None" = None,
         batch: int = 500,
     ) -> None:
         if batch <= 0:

@@ -53,7 +53,7 @@ def manifest_dir() -> pathlib.Path:
     return _default_manifest_dir()
 
 
-def to_jsonable(value):
+def to_jsonable(value: object) -> object:
     """Recursively convert numpy scalars/arrays and mappings to JSON types."""
     if isinstance(value, (np.floating, np.integer, np.bool_)):
         return value.item()

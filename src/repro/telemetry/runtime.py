@@ -34,7 +34,7 @@ class _NullSpan:
     def __enter__(self) -> None:
         return None
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         return False
 
 
@@ -54,7 +54,7 @@ class _SpanContext:
         self._telemetry._open(self._record)
         return self._record
 
-    def __exit__(self, *exc_info) -> bool:
+    def __exit__(self, *exc_info: object) -> bool:
         self._telemetry._close(self._record)
         return False
 
@@ -94,7 +94,7 @@ class Telemetry:
 
     # -- spans --------------------------------------------------------
 
-    def span(self, name: str, **tags: str):
+    def span(self, name: str, **tags: str) -> "_NullSpan | _SpanContext":
         """Open a traced region; records wall-clock and nesting.
 
         Returns a context manager; when telemetry is disabled it is a
@@ -190,7 +190,7 @@ class Telemetry:
             },
         }
 
-    def to_json(self, **json_kwargs) -> str:
+    def to_json(self, **json_kwargs: object) -> str:
         """JSON rendering of :meth:`snapshot`."""
         json_kwargs.setdefault("indent", 2)
         json_kwargs.setdefault("sort_keys", True)

@@ -10,7 +10,7 @@ stack maintenance) lives in :class:`repro.telemetry.runtime.Telemetry`.
 from __future__ import annotations
 
 import dataclasses
-from typing import Mapping
+from typing import Iterator, Mapping
 
 
 @dataclasses.dataclass
@@ -55,7 +55,7 @@ class SpanRecord:
             out["children"] = [child.as_dict() for child in self.children]
         return out
 
-    def iter_all(self):
+    def iter_all(self) -> "Iterator[SpanRecord]":
         """Yield this span and every descendant, depth-first."""
         yield self
         for child in self.children:

@@ -50,6 +50,8 @@ def relative_errors(estimator: SelectivityEstimator, queries: QueryFile) -> np.n
     """
     true = queries.true_counts.astype(np.float64)
     errors = np.abs(estimated_counts(estimator, queries) - true)
+    # Zero-truth queries divide to inf/NaN here by design: np.where
+    # replaces them with NaN and every aggregate helper drops NaNs.
     with np.errstate(divide="ignore", invalid="ignore"):
         rel = np.where(true > 0, errors / true, np.nan)
     return rel

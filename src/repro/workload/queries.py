@@ -15,12 +15,13 @@ the domain, exposing the kernel boundary problem.
 from __future__ import annotations
 
 import dataclasses
+from typing import Iterator
 
 import numpy as np
 
 from repro.core.base import InvalidQueryError, validate_query
 from repro.data.domain import IntegerDomain, Interval
-from repro.data.relation import Relation, _resolve_rng
+from repro.data.relation import Relation, resolve_rng
 
 #: The paper's query sizes, as fractions of the domain width.
 PAPER_QUERY_SIZES = (0.01, 0.02, 0.05, 0.10)
@@ -123,7 +124,7 @@ class QueryFile:
     def __len__(self) -> int:
         return int(self._a.size)
 
-    def __iter__(self):
+    def __iter__(self) -> "Iterator[RangeQuery]":
         for qa, qb in zip(self._a, self._b):
             yield RangeQuery(float(qa), float(qb))
 
@@ -165,7 +166,7 @@ def generate_query_file(
         raise InvalidQueryError(f"size_fraction must be in (0, 1), got {size_fraction}")
     if n_queries <= 0:
         raise InvalidQueryError(f"n_queries must be positive, got {n_queries}")
-    rng = _resolve_rng(seed)
+    rng = resolve_rng(seed)
     domain = relation.domain
     if align_to_grid is None:
         align_to_grid = isinstance(domain, IntegerDomain)

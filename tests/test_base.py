@@ -122,6 +122,7 @@ class _Half(SelectivityEstimator):
         return 7
 
     def selectivity(self, a: float, b: float) -> float:
+        a, b = validate_query(a, b)
         return 0.5
 
 

@@ -95,10 +95,18 @@ class TestStatisticsCache:
         rebuilt.analyze(table, seed=7)
         assert rebuilt.column_statistic("points", "x") is first
 
-    def test_unseeded_analyze_bypasses_the_cache(self):
+    def test_unseeded_analyze_raises(self):
+        from repro.core.base import MissingSeedError
+
         table = _make_table()
         catalog = Catalog(family="equi-width", sample_size=500)
-        catalog.analyze(table, seed=None)
+        with pytest.raises(MissingSeedError):
+            catalog.analyze(table, seed=None)
+
+    def test_generator_seed_bypasses_the_cache(self):
+        table = _make_table()
+        catalog = Catalog(family="equi-width", sample_size=500)
+        catalog.analyze(table, seed=np.random.default_rng(7))
         assert len(_STATISTICS_CACHE) == 0
 
     def test_changed_data_misses_naturally(self):

@@ -34,7 +34,7 @@ class TestHarness:
 
     def test_query_size_override(self):
         small = load_context("n(20)", TINY, query_size=0.05)
-        assert small.queries.size_fraction == 0.05
+        assert np.isclose(small.queries.size_fraction, 0.05)
 
 
 class TestTable2:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.base import SelectivityEstimator
+from repro.core.base import SelectivityEstimator, validate_query
 from repro.workload.metrics import (
     estimated_counts,
     mean_absolute_error,
@@ -26,6 +26,7 @@ class ConstantEstimator(SelectivityEstimator):
         return 1
 
     def selectivity(self, a: float, b: float) -> float:
+        a, b = validate_query(a, b)
         return self._value
 
 
@@ -48,6 +49,7 @@ class TestSignedErrors:
     def test_perfect_estimator_zero_error(self, queries):
         class Perfect(ConstantEstimator):
             def selectivity(self, a, b):
+                a, b = validate_query(a, b)
                 return {0.0: 0.1, 10.0: 0.2, 20.0: 0.0}[a]
 
         np.testing.assert_allclose(signed_errors(Perfect(0), queries), [0.0, 0.0, 0.0])

@@ -96,6 +96,21 @@ class TestSampling:
         sample = relation.sample(2, seed=np.random.default_rng(0))
         assert sample.shape == (2,)
 
+    def test_sample_requires_explicit_seed(self, relation):
+        from repro.core.base import MissingSeedError
+
+        with pytest.raises(MissingSeedError, match="reproducible"):
+            relation.sample(2)
+
+    def test_resolve_rng_passes_generator_through(self):
+        from repro.data.relation import resolve_rng
+
+        rng = np.random.default_rng(7)
+        assert resolve_rng(rng) is rng
+        a = resolve_rng(7).random(8)
+        b = resolve_rng(7).random(8)
+        np.testing.assert_array_equal(a, b)
+
 
 class TestStatistics:
     def test_distinct_count(self, relation):

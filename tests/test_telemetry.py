@@ -1,5 +1,7 @@
 """Tests for the telemetry subsystem (repro.telemetry)."""
 
+# repro: allow-file[telemetry-naming] — synthetic span/metric names exercise the tracing machinery itself
+
 import json
 
 import numpy as np

@@ -20,6 +20,12 @@ runs leave the untouched groups alone); per-entry comparison uses
 Entries whose name ends in ``_x`` are ratios (higher is better), not
 timings, and are skipped.
 
+``--overhead BASE:LOADED`` additionally compares two entries *within
+the current file* — e.g. the telemetry-disabled vs telemetry-enabled
+timings of the same workload — and fails when ``LOADED/BASE`` exceeds
+``--max-overhead`` (default 1.05, i.e. instrumentation may cost at
+most 5 %).
+
 Updating the baseline
 ---------------------
 When a slowdown is intentional (an accuracy fix that costs time, a
@@ -41,6 +47,9 @@ import sys
 
 #: Largest tolerated current/baseline ratio before the gate fails.
 DEFAULT_THRESHOLD = 1.25
+
+#: Largest tolerated loaded/base ratio for ``--overhead`` pairs.
+DEFAULT_MAX_OVERHEAD = 1.05
 
 #: Schema identifier the gate insists on (see repro.telemetry.bench).
 BENCH_SCHEMA = "repro.telemetry.bench/v1"
@@ -89,6 +98,38 @@ def compare(
     return regressions
 
 
+def check_overhead(
+    current: dict[str, dict[str, float]],
+    pairs: list[str],
+    max_overhead: float,
+) -> list[tuple[str, float]]:
+    """Overhead pairs exceeding the cap, as ``(pair, ratio)`` rows.
+
+    Each pair is ``BASE:LOADED``; both entries must exist in the
+    current export (a missing entry fails loudly — an overhead gate
+    that silently skips is no gate at all).
+    """
+    failures = []
+    for pair in pairs:
+        base_name, _, loaded_name = pair.partition(":")
+        if not base_name or not loaded_name:
+            raise SystemExit(f"--overhead needs BASE:LOADED, got {pair!r}")
+        missing = [n for n in (base_name, loaded_name) if n not in current]
+        if missing:
+            raise SystemExit(f"--overhead: {', '.join(missing)} not in current export")
+        base = representative_seconds(current[base_name])
+        loaded = representative_seconds(current[loaded_name])
+        if base is None or loaded is None:
+            raise SystemExit(f"--overhead: no usable timing for {pair!r}")
+        ratio = loaded / base
+        marker = "EXCEEDED" if ratio > max_overhead else "ok"
+        print(f"  overhead {pair}: {base * 1e3:.3f} ms -> {loaded * 1e3:.3f} ms "
+              f"({ratio:.3f}x, cap {max_overhead:.2f}x) {marker}")
+        if ratio > max_overhead:
+            failures.append((pair, ratio))
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=pathlib.Path, help="committed export")
@@ -105,6 +146,21 @@ def main(argv: list[str] | None = None) -> int:
         default=[],
         help="only gate entries with this prefix (repeatable; default: all)",
     )
+    parser.add_argument(
+        "--overhead",
+        action="append",
+        default=[],
+        metavar="BASE:LOADED",
+        help="also compare two entries within the current export; fail "
+        "when LOADED/BASE exceeds --max-overhead (repeatable)",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=DEFAULT_MAX_OVERHEAD,
+        help=f"failing LOADED/BASE ratio for --overhead pairs "
+        f"(default {DEFAULT_MAX_OVERHEAD})",
+    )
     args = parser.parse_args(argv)
 
     regressions = compare(
@@ -113,6 +169,17 @@ def main(argv: list[str] | None = None) -> int:
         tuple(args.prefix),
         args.threshold,
     )
+    overhead_failures = check_overhead(
+        load_benchmarks(args.current), args.overhead, args.max_overhead
+    )
+    if overhead_failures:
+        for pair, ratio in overhead_failures:
+            print(f"perf gate: overhead {pair} at {ratio:.3f}x exceeds "
+                  f"{args.max_overhead:.2f}x cap")
+        if os.environ.get("REPRO_PERF_BASELINE_UPDATE") == "1":
+            print("REPRO_PERF_BASELINE_UPDATE=1: reporting only, not failing")
+        else:
+            return 1
     if not regressions:
         print("perf gate: no regressions beyond "
               f"{(args.threshold - 1.0) * 100:.0f}%")

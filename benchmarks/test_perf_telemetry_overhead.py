@@ -1,0 +1,61 @@
+"""Perf: instrumentation overhead of enabled telemetry on the hot path.
+
+Observability only earns its place on the serving path if it is close
+to free.  This benchmark times the same 10k-query batch-selectivity
+workload with telemetry disabled (the default) and inside an enabled
+``telemetry.session()``, then exports both medians plus their ratio
+under ``perf_telemetry.*``.  ``benchmarks/perf_gate.py --overhead``
+holds the enabled/disabled ratio under 5 % in CI; the local assertion
+is looser (1.5x) so a loaded laptop does not flake.
+"""
+
+import time
+
+import numpy as np
+
+from repro import telemetry
+from repro.core.kernel import KernelSelectivityEstimator
+
+N_SAMPLES = 2_000
+BATCH_SIZE = 10_000
+REPEATS = 7
+#: Local sanity ceiling on enabled/disabled; CI gates much tighter.
+MAX_LOCAL_OVERHEAD = 1.5
+
+
+def _workload():
+    sample = np.random.default_rng(0).uniform(0.0, 1.0, N_SAMPLES)
+    estimator = KernelSelectivityEstimator(sample, 0.05, kernel="epanechnikov")
+    rng = np.random.default_rng(BATCH_SIZE)
+    a = rng.uniform(-0.1, 1.05, BATCH_SIZE)
+    return estimator, a, a + rng.uniform(0.0, 0.2, BATCH_SIZE)
+
+
+def _best_of(fn, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_perf_telemetry_overhead(perf_export):
+    estimator, a, b = _workload()
+    estimator.selectivities(a, b)  # warm caches before either timing
+
+    assert telemetry.get_telemetry().enabled is False
+    disabled = _best_of(lambda: estimator.selectivities(a, b))
+
+    with telemetry.session():
+        enabled = _best_of(lambda: estimator.selectivities(a, b))
+
+    overhead = enabled / disabled
+    perf_export.record_seconds("perf_telemetry", "batch_disabled", disabled)
+    perf_export.record_seconds("perf_telemetry", "batch_enabled", enabled)
+    # `_x` suffix: a ratio, skipped by the regression compare.
+    perf_export.record_seconds("perf_telemetry", "overhead_x", overhead)
+    assert overhead <= MAX_LOCAL_OVERHEAD, (
+        f"enabled telemetry costs {overhead:.2f}x "
+        f"(disabled {disabled * 1e3:.3f}ms vs enabled {enabled * 1e3:.3f}ms)"
+    )

@@ -8,11 +8,15 @@ Regenerates the paper's tables and figures from the terminal::
     python -m repro fig04 --csv      # machine-readable output
     python -m repro fig12 --trace    # + span tree and JSON run manifest
     python -m repro stats            # aggregate existing run manifests
+    python -m repro stats --format json   # ... as JSON (or prom)
+    python -m repro slo              # evaluate SLOs, exit 1 on failure
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
 from repro.experiments import DEFAULT, FAST
@@ -49,13 +53,42 @@ EXPERIMENTS = {
 }
 
 
-def _render_stats() -> str:
-    """Aggregate the manifest drop box into one text table."""
+def _warn_skip(path: pathlib.Path, reason: str) -> None:
+    """Per-file stderr warning for manifests the aggregator skipped."""
+    print(f"warning: skipping manifest {path}: {reason}", file=sys.stderr)
+
+
+def _render_stats(output_format: str = "table") -> str:
+    """Aggregate the manifest drop box into one report.
+
+    ``table`` renders the human-readable summary; ``json`` emits the
+    raw aggregate rows; ``prom`` emits one Prometheus text exposition
+    per experiment (latest run's metrics, labelled by experiment),
+    concatenated — a textfile-collector drop-in.
+    """
     from repro import telemetry
     from repro.experiments.reporting import make_result
 
-    rows = telemetry.aggregate_manifests()
     directory = telemetry.manifest_dir()
+    if output_format == "prom":
+        manifests = telemetry.load_manifests(on_skip=_warn_skip)
+        latest: dict[str, dict] = {}
+        for manifest in manifests:
+            latest[str(manifest.get("experiment"))] = manifest
+        chunks = []
+        for experiment in sorted(latest):
+            snapshot = latest[experiment].get("telemetry", {}).get("metrics", {})
+            if isinstance(snapshot, dict):
+                chunks.append(
+                    telemetry.prometheus_exposition(
+                        snapshot, labels={"experiment": experiment}
+                    )
+                )
+        return "".join(chunks) if chunks else "# EOF\n"
+
+    rows = telemetry.aggregate_manifests(on_skip=_warn_skip)
+    if output_format == "json":
+        return json.dumps(rows, indent=2, sort_keys=True) + "\n"
     if not rows:
         return (
             f"no run manifests under {directory}\n"
@@ -75,11 +108,75 @@ def _render_stats() -> str:
     return result.render()
 
 
+def _run_slo(bench_path: "pathlib.Path | None") -> int:
+    """Evaluate the default SLOs; exit 1 on any evaluated failure.
+
+    Bench latency ceilings come from ``BENCH_perf.json`` (or
+    ``--bench``); quantile and hit-rate objectives come from the
+    latest run manifests' metric snapshots.
+    """
+    from repro import telemetry
+    from repro.telemetry import slo as slo_mod
+
+    results: list[telemetry.SLOResult] = []
+
+    path = bench_path if bench_path is not None else pathlib.Path("BENCH_perf.json")
+    if path.is_file():
+        try:
+            bench = slo_mod.load_bench(path)
+        except ValueError as exc:
+            print(f"warning: {exc}", file=sys.stderr)
+        else:
+            results.extend(telemetry.evaluate_bench(telemetry.DEFAULT_SLOS, bench))
+    else:
+        print(f"warning: no benchmark file at {path}; skipping bench SLOs", file=sys.stderr)
+
+    # Merge the latest manifest snapshot per experiment into one view:
+    # counters add, value summaries keep the best-fed series.
+    manifests = telemetry.load_manifests(on_skip=_warn_skip)
+    latest: dict[str, dict] = {}
+    for manifest in manifests:
+        latest[str(manifest.get("experiment"))] = manifest
+    merged: dict[str, dict] = {"counters": {}, "gauges": {}, "values": {}}
+    for manifest in latest.values():
+        snapshot = manifest.get("telemetry", {}).get("metrics", {})
+        if not isinstance(snapshot, dict):
+            continue
+        for name, amount in (snapshot.get("counters") or {}).items():
+            if isinstance(amount, (int, float)):
+                merged["counters"][name] = merged["counters"].get(name, 0.0) + amount
+        for name, summary in (snapshot.get("values") or {}).items():
+            if not isinstance(summary, dict):
+                continue
+            best = merged["values"].get(name)
+            if best is None or summary.get("count", 0) > best.get("count", 0):
+                merged["values"][name] = summary
+    snapshot_specs = [spec for spec in telemetry.DEFAULT_SLOS if spec.kind != "bench"]
+    results.extend(telemetry.evaluate_snapshot(snapshot_specs, merged))
+
+    print(telemetry.render_report(results), end="")
+    return 1 if any(result.passed is False for result in results) else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     parser.add_argument(
         "experiment",
-        help="experiment id (e.g. fig12), 'all', 'list', or 'stats'",
+        help="experiment id (e.g. fig12), 'all', 'list', 'stats', or 'slo'",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("table", "json", "prom"),
+        default="table",
+        help="with 'stats': output format (text table, JSON rows, or "
+        "Prometheus text exposition of the latest runs)",
+    )
+    parser.add_argument(
+        "--bench",
+        type=pathlib.Path,
+        default=None,
+        help="with 'slo': benchmark export file holding the latency "
+        "medians (default: BENCH_perf.json)",
     )
     parser.add_argument(
         "--paper",
@@ -111,8 +208,11 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.experiment == "stats":
-        print(_render_stats(), end="")
+        print(_render_stats(args.format), end="")
         return 0
+
+    if args.experiment == "slo":
+        return _run_slo(args.bench)
 
     if args.experiment == "all":
         selected = list(EXPERIMENTS.items())
@@ -121,7 +221,7 @@ def main(argv: list[str] | None = None) -> int:
     else:
         parser.error(
             f"unknown experiment {args.experiment!r}; "
-            f"choose from {', '.join(EXPERIMENTS)}, all, list, stats"
+            f"choose from {', '.join(EXPERIMENTS)}, all, list, stats, slo"
         )
 
     config = DEFAULT if args.paper else FAST

@@ -9,6 +9,8 @@ every f-string) passed as the first argument to::
 
     <anything>.metrics.inc(name, ...)
     <anything>.metrics.observe(name, ...)
+    <anything>.metrics.observe_many(name, ...)
+    <anything>.metrics.set_gauge(name, ...)
     <anything>.metrics.time(name)
     <anything>.span(name, ...)
 
@@ -30,7 +32,7 @@ from repro.analysis.findings import Finding, ModuleInfo, dotted_name, finding
 from repro.analysis.project import ProjectIndex
 from repro.telemetry.names import is_registered, is_registered_prefix
 
-_METRIC_METHODS = frozenset({"inc", "observe", "time"})
+_METRIC_METHODS = frozenset({"inc", "observe", "observe_many", "time", "set_gauge"})
 
 
 def _recording_call(node: ast.Call) -> str | None:

@@ -67,6 +67,17 @@ class LRUCache:
         """Lookups that found nothing since creation/clear."""
         return self._misses
 
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (``nan`` before any).
+
+        The local equivalent of the ``cache.hit.<name>`` /
+        ``cache.miss.<name>`` counter ratio; SLO hit-rate floors read
+        the same quantity from a registry snapshot.
+        """
+        lookups = self._hits + self._misses
+        return self._hits / lookups if lookups else float("nan")
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._data)

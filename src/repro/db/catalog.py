@@ -17,6 +17,7 @@ from repro.core.base import InvalidQueryError, SelectivityEstimator
 from repro.db.cache import MISS, LRUCache
 from repro.db.table import Table
 from repro.multidim import KernelEstimator2D, plugin_bandwidths_2d
+from repro.telemetry.drift import DriftMonitor, DriftReading, Staleness, StalenessMonitor
 
 #: Estimator families ANALYZE can build, by name.
 FAMILIES = {
@@ -75,6 +76,12 @@ class Catalog:
         self._joint_stats: dict[tuple[str, str, str], KernelEstimator2D] = {}
         self._row_counts: dict[str, int] = {}
         self._version = 0
+        # Serving-grade monitors: every ANALYZE stamps the staleness
+        # monitor and (when it actually drew a sample) baselines the
+        # drift monitor, so a long-lived catalog can report how old and
+        # how wrong its statistics have become.
+        self.drift = DriftMonitor()
+        self.staleness = StalenessMonitor()
 
     @property
     def family(self) -> str:
@@ -149,6 +156,14 @@ class Catalog:
                     _STATISTICS_CACHE.put(key, statistic)
             self._joint_stats[(table.name, x, y)] = statistic
         self._version += 1
+        self.staleness.on_analyze(table.name, self._version)
+        # Drift baselines come from the sample this ANALYZE actually
+        # drew.  A full statistics-cache hit never touches the table
+        # (rows stays None); the existing baselines remain valid in
+        # that case because the cache key includes the data fingerprint.
+        if rows is not None:
+            for column in table.column_names:
+                self.drift.set_baseline(table.name, column, rows[column])
 
     @property
     def version(self) -> int:
@@ -175,10 +190,28 @@ class Catalog:
             del self._joint_stats[key]
         _STATISTICS_CACHE.evict(lambda key: key[0] == table_name)
         self._version += 1
+        self.staleness.forget(table_name)
 
     def has_statistics(self, table_name: str) -> bool:
         """Whether ANALYZE has run for the table."""
         return table_name in self._row_counts
+
+    def observe_values(
+        self, table_name: str, column: str, values: np.ndarray
+    ) -> "DriftReading | None":
+        """Feed recently seen attribute values to the drift monitor.
+
+        Call this from wherever fresh data is visible (ingest paths,
+        executed scans, the feedback loop); once enough values
+        accumulate, the KS distance against the build-time sample is
+        available via the returned reading and (in traced runs) the
+        ``drift.ks.<table>.<column>`` gauge.
+        """
+        return self.drift.ingest(table_name, column, values)
+
+    def staleness_of(self, table_name: str) -> "Staleness | None":
+        """Current staleness of the table's statistics, if stamped."""
+        return self.staleness.observe(table_name, self._version)
 
     def row_count(self, table_name: str) -> int:
         """Cached row count."""

@@ -20,6 +20,7 @@ from repro.db.cache import MISS, LRUCache
 from repro.db.catalog import Catalog
 from repro.db.table import Table
 from repro.telemetry import get_telemetry
+from repro.telemetry.quality import QualityRecord, record_quality
 
 #: Entries kept in each planner's recent-estimate LRU.
 ESTIMATE_CACHE_SIZE = 512
@@ -196,6 +197,28 @@ class Planner:
         """Estimated result rows ``N * sigma``."""
         return self.selectivity(table, predicates) * self._catalog.row_count(table.name)
 
+    def observe_actual(
+        self,
+        table: Table,
+        predicates: "list[RangePredicate]",
+        actual_rows: float,
+    ) -> QualityRecord:
+        """Feed back the executed cardinality of a planned query.
+
+        This is the accuracy counterpart of ``EXPLAIN ANALYZE``: the
+        true row count is compared (as a selectivity) against what the
+        planner would estimate for the same predicate set, and the pair
+        lands in the ``quality.qerror`` / ``quality.abs_error`` series
+        keyed by table name.  Returns the computed record whether or
+        not telemetry is enabled.
+        """
+        if actual_rows < 0:
+            raise InvalidQueryError(f"actual row count must be >= 0, got {actual_rows}")
+        row_count = self._catalog.row_count(table.name)
+        estimated = self.selectivity(table, predicates)
+        truth = float(actual_rows) / row_count if row_count else 0.0
+        return record_quality(estimated, truth, key=table.name)
+
     def plan(self, table: Table, predicates: "list[RangePredicate]") -> Plan:
         """Choose the cheaper access path under the cost model.
 
@@ -228,6 +251,10 @@ class Planner:
         if telemetry.enabled:
             telemetry.metrics.inc("planner.plan")
             telemetry.metrics.observe("planner.estimate.rows", estimated)
+            # Staleness gauges ride along with every traced plan, so a
+            # scrape of a serving process shows how old the statistics
+            # behind its current plans are.
+            self._catalog.staleness_of(table.name)
         return Plan(
             table.name,
             winner,

@@ -209,7 +209,10 @@ def run_traced(
     metrics); the experiment executes inside a ``harness.experiment``
     span, and the resulting manifest — config, per-estimator
     build/query timings, error metrics — is written under
-    :func:`repro.telemetry.manifest_dir`.
+    :func:`repro.telemetry.manifest_dir`.  A Prometheus text
+    exposition of the run's metrics (labelled by experiment) lands
+    next to the manifest as ``<manifest>.prom``, ready for a textfile
+    collector or CI artifact upload.
 
     Returns ``(result, manifest_path, telemetry)``; the telemetry
     object is already detached from the process global, ready for
@@ -225,4 +228,8 @@ def run_traced(
             name, result, config, session, duration_seconds=record.duration
         )
         path = _telemetry.write_manifest(manifest, manifest_directory)
+        exposition = _telemetry.prometheus_exposition(
+            session.metrics.snapshot(), labels={"experiment": name}
+        )
+        path.with_suffix(".prom").write_text(exposition)
     return result, path, session

@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.core.base import InvalidQueryError, InvalidSampleError, validate_query, validate_query_batch
 from repro.data.domain import Interval
+from repro.telemetry import get_telemetry
+from repro.telemetry.quality import record_quality
 
 
 class AdaptiveHistogram:
@@ -69,6 +71,9 @@ class AdaptiveHistogram:
             if np.any(mass < 0) or not np.isclose(mass.sum(), 1.0):
                 raise InvalidSampleError("prior must be non-negative and sum to 1")
         self._mass = mass
+        # Build-time masses, kept to report how far feedback has moved
+        # the model (the drift.feedback.shift.<Class> gauge).
+        self._initial_mass = mass.copy()
         self._rate = float(learning_rate)
         self._updates = 0
 
@@ -151,7 +156,25 @@ class AdaptiveHistogram:
         if total > 0:
             self._mass /= total
         self._updates += 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            record_quality(inside, true_selectivity, key=type(self).__name__)
+            telemetry.metrics.set_gauge(
+                f"drift.feedback.shift.{type(self).__name__}",
+                self.distribution_shift,
+            )
         return float(error)
+
+    @property
+    def distribution_shift(self) -> float:
+        """Total-variation distance from the build-time bin masses.
+
+        0 means feedback has not moved the model; 1 is total
+        displacement — an intrinsic measure of how much the workload
+        disagreed with the prior, emitted as the
+        ``drift.feedback.shift.AdaptiveHistogram`` gauge in traced runs.
+        """
+        return float(0.5 * np.abs(self._mass - self._initial_mass).sum())
 
     def observe_workload(
         self, a: np.ndarray, b: np.ndarray, true_selectivities: np.ndarray

@@ -34,6 +34,8 @@ from repro.core.base import (
 from repro.core.kernel.estimator import PickFn, segment_window_sums
 from repro.core.kernel.functions import EPANECHNIKOV, KernelFunction, get_kernel
 from repro.data.domain import Interval
+from repro.telemetry import get_telemetry
+from repro.telemetry.quality import record_quality
 
 
 class FeedbackKernelEstimator(DensityEstimator):
@@ -119,6 +121,16 @@ class FeedbackKernelEstimator(DensityEstimator):
     def weights(self) -> np.ndarray:
         """Current per-sample weights (copy; sums to 1)."""
         return self._weights.copy()
+
+    @property
+    def distribution_shift(self) -> float:
+        """Total-variation distance from the uniform build-time weights.
+
+        0 means feedback has not reweighted anything; emitted as the
+        ``drift.feedback.shift.FeedbackKernelEstimator`` gauge in
+        traced runs.
+        """
+        return float(0.5 * np.abs(self._weights - 1.0 / self._n).sum())
 
     def _per_sample_mass(self, a: float, b: float) -> np.ndarray:
         """Unweighted kernel mass of ``[a, b]`` per stored point."""
@@ -207,6 +219,7 @@ class FeedbackKernelEstimator(DensityEstimator):
         # served from the shared statistics cache.
         self._updates += 1  # repro: allow[frozen-after-build] — adaptive by design; not cache-shared
         if estimate <= 0.0 and true_selectivity <= 0.0:
+            self._record_feedback_telemetry(estimate, true_selectivity)
             return float(error)
 
         mass = self._per_sample_mass(max(a, self._domain.low), min(b, self._domain.high))
@@ -227,7 +240,17 @@ class FeedbackKernelEstimator(DensityEstimator):
         total = self._weights.sum()
         if total > 0:
             self._weights /= total  # repro: allow[frozen-after-build] — adaptive by design; not cache-shared
+        self._record_feedback_telemetry(estimate, true_selectivity)
         return float(error)
+
+    def _record_feedback_telemetry(self, estimate: float, truth: float) -> None:
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            record_quality(estimate, truth, key=type(self).__name__)
+            telemetry.metrics.set_gauge(
+                f"drift.feedback.shift.{type(self).__name__}",
+                self.distribution_shift,
+            )
 
     def observe_workload(
         self, a: np.ndarray, b: np.ndarray, true_selectivities: np.ndarray

@@ -28,6 +28,7 @@ run manifest under ``benchmarks/reports/manifests/``) and
 """
 
 from repro.telemetry.metrics import MetricsRegistry, ValueSummary
+from repro.telemetry.sketch import QuantileSketch
 from repro.telemetry.spans import SpanRecord
 from repro.telemetry.runtime import (
     Telemetry,
@@ -44,19 +45,78 @@ from repro.telemetry.manifest import (
     write_manifest,
 )
 from repro.telemetry.bench import BenchmarkExporter
+from repro.telemetry.quality import (
+    QERROR_FLOOR,
+    QualityRecord,
+    QualityTracker,
+    qerror,
+    qerrors,
+    record_quality,
+    record_quality_batch,
+)
+from repro.telemetry.drift import (
+    DriftMonitor,
+    DriftReading,
+    ReservoirSample,
+    Staleness,
+    StalenessMonitor,
+    ks_distance,
+)
+from repro.telemetry.slo import (
+    DEFAULT_SLOS,
+    SLOResult,
+    SLOSpec,
+    evaluate_bench,
+    evaluate_registry,
+    evaluate_snapshot,
+    render_report,
+)
+from repro.telemetry.export import (
+    JsonlEventLog,
+    default_event_log,
+    iter_events,
+    parse_exposition,
+    prometheus_exposition,
+)
 
 __all__ = [
     "BenchmarkExporter",
+    "DEFAULT_SLOS",
+    "DriftMonitor",
+    "DriftReading",
+    "JsonlEventLog",
     "MANIFEST_SCHEMA",
     "MetricsRegistry",
+    "QERROR_FLOOR",
+    "QualityRecord",
+    "QualityTracker",
+    "QuantileSketch",
+    "ReservoirSample",
+    "SLOResult",
+    "SLOSpec",
     "SpanRecord",
+    "Staleness",
+    "StalenessMonitor",
     "Telemetry",
     "ValueSummary",
     "aggregate_manifests",
     "build_manifest",
+    "default_event_log",
+    "evaluate_bench",
+    "evaluate_registry",
+    "evaluate_snapshot",
     "get_telemetry",
+    "iter_events",
+    "ks_distance",
     "load_manifests",
     "manifest_dir",
+    "parse_exposition",
+    "prometheus_exposition",
+    "qerror",
+    "qerrors",
+    "record_quality",
+    "record_quality_batch",
+    "render_report",
     "session",
     "set_telemetry",
     "write_manifest",

@@ -1,0 +1,248 @@
+"""Telemetry exporters: Prometheus text exposition and JSONL events.
+
+Two serving-friendly output formats for everything a
+:class:`~repro.telemetry.metrics.MetricsRegistry` records:
+
+* :func:`prometheus_exposition` renders a registry snapshot in the
+  Prometheus/OpenMetrics text format — counters as ``*_total``, gauges
+  verbatim, value series as summaries (``{quantile="0.5"}`` samples
+  plus ``_sum``/``_count``) — ready for a scrape endpoint or a textfile
+  collector.  :func:`parse_exposition` reads the format back (used by
+  the round-trip tests and by anything that wants to diff expositions).
+* :class:`JsonlEventLog` appends structured events as one JSON object
+  per line, the tail-able audit stream for quality observations, SLO
+  verdicts and drift readings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import os
+import pathlib
+import re
+import threading
+import time
+from typing import Iterator, Mapping
+
+#: Environment variable naming the default JSONL event-log path.
+EVENT_LOG_ENV = "REPRO_EVENT_LOG"
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Quantiles emitted per value series (matches the registry summary).
+_SUMMARY_QUANTILES = (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"))
+
+
+def _metric_name(prefix: str, name: str) -> str:
+    """``repro`` + ``cache.hit.context`` -> ``repro_cache_hit_context``."""
+    full = f"{prefix}_{name}" if prefix else name
+    full = _SANITIZE.sub("_", full)
+    if not _NAME_OK.match(full):
+        full = f"_{full}"
+    return full
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Mapping[str, str] | None, extra: Mapping[str, str] | None = None) -> str:
+    merged: dict[str, str] = {}
+    if labels:
+        merged.update(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{_SANITIZE.sub("_", key)}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def prometheus_exposition(
+    snapshot: Mapping[str, object],
+    prefix: str = "repro",
+    labels: Mapping[str, str] | None = None,
+) -> str:
+    """Render a registry snapshot in the Prometheus text format.
+
+    ``snapshot`` is the dict from
+    :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot` (or the
+    ``telemetry.metrics`` section of a run manifest).  Metric names are
+    prefixed and sanitized (dots become underscores); ``labels`` are
+    attached to every sample (e.g. ``{"experiment": "fig04"}``).  The
+    output ends with the OpenMetrics ``# EOF`` marker.
+    """
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    values = snapshot.get("values", {})
+    if not isinstance(counters, Mapping) or not isinstance(values, Mapping):
+        raise ValueError("snapshot must carry 'counters' and 'values' mappings")
+    if not isinstance(gauges, Mapping):
+        gauges = {}
+    base_labels = _render_labels(labels)
+    lines: list[str] = []
+    for name in sorted(counters):
+        metric = _metric_name(prefix, f"{name}_total")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}{base_labels} {_format_value(float(counters[name]))}")
+    for name in sorted(gauges):
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{base_labels} {_format_value(float(gauges[name]))}")
+    for name in sorted(values):
+        summary = values[name]
+        if not isinstance(summary, Mapping):
+            continue
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} summary")
+        for quantile, field in _SUMMARY_QUANTILES:
+            observed = summary.get(field)
+            if isinstance(observed, (int, float)):
+                sample_labels = _render_labels(labels, {"quantile": quantile})
+                lines.append(f"{metric}{sample_labels} {_format_value(float(observed))}")
+        total = summary.get("total", 0.0)
+        count = summary.get("count", 0)
+        lines.append(f"{metric}_sum{base_labels} {_format_value(float(total))}")
+        lines.append(f"{metric}_count{base_labels} {_format_value(float(count))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+@dataclasses.dataclass(frozen=True)
+class Sample:
+    """One parsed exposition sample."""
+
+    name: str
+    labels: dict[str, str]
+    value: float
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_PAIR = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _parse_value(token: str) -> float:
+    if token == "NaN":
+        return math.nan
+    if token == "+Inf":
+        return math.inf
+    if token == "-Inf":
+        return -math.inf
+    return float(token)
+
+
+def parse_exposition(text: str) -> dict[str, list[Sample]]:
+    """Parse Prometheus text exposition back into samples by metric name.
+
+    Understands exactly the subset :func:`prometheus_exposition` emits
+    (comments, bare samples, labelled samples, ``# EOF``); raises
+    ``ValueError`` on anything else so the round-trip test is strict.
+    """
+    out: dict[str, list[Sample]] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        labels: dict[str, str] = {}
+        if match.group("labels"):
+            for key, value in _LABEL_PAIR.findall(match.group("labels")):
+                labels[key] = (
+                    value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+                )
+        name = match.group("name")
+        out.setdefault(name, []).append(
+            Sample(name=name, labels=labels, value=_parse_value(match.group("value")))
+        )
+    return out
+
+
+class JsonlEventLog:
+    """An append-only JSON-lines event stream.
+
+    Each :meth:`emit` call appends one object ``{"ts": ..., "kind":
+    ..., **fields}``; writes are line-atomic under an internal lock so
+    concurrent emitters (harness workers, the feedback path) interleave
+    cleanly.  The file handle is opened lazily and kept open; call
+    :meth:`close` (or use the instance as a context manager) when done.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self._path = pathlib.Path(path)
+        self._lock = threading.Lock()
+        self._handle = None  # type: ignore[var-annotated]
+
+    @property
+    def path(self) -> pathlib.Path:
+        """Where events are appended."""
+        return self._path
+
+    def emit(self, kind: str, **fields: object) -> None:
+        """Append one event of ``kind`` with the given fields."""
+        record = {"ts": time.time(), "kind": kind, **fields}
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if self._handle is None:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = self._path.open("a", encoding="utf-8")
+            self._handle.write(line + "\n")
+            self._handle.flush()
+
+    def close(self) -> None:
+        """Close the underlying file handle (idempotent)."""
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+    def __enter__(self) -> "JsonlEventLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def iter_events(path: str | pathlib.Path) -> Iterator[dict[str, object]]:
+    """Yield events from a JSONL log, skipping torn/blank lines."""
+    log_path = pathlib.Path(path)
+    if not log_path.exists():
+        return
+    with log_path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                yield event
+
+
+def default_event_log() -> "JsonlEventLog | None":
+    """Event log named by ``$REPRO_EVENT_LOG``, or ``None`` if unset."""
+    path = os.environ.get(EVENT_LOG_ENV)
+    if not path:
+        return None
+    return JsonlEventLog(path)

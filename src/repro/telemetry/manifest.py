@@ -17,11 +17,12 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 import os
 import pathlib
 import platform
 import time
-from typing import TYPE_CHECKING, Iterable, Mapping
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
 import numpy as np
 
@@ -109,11 +110,16 @@ def write_manifest(
     return path
 
 
-def load_manifests(directory: pathlib.Path | None = None) -> list[dict[str, object]]:
+def load_manifests(
+    directory: pathlib.Path | None = None,
+    on_skip: "Callable[[pathlib.Path, str], None] | None" = None,
+) -> list[dict[str, object]]:
     """Load every readable manifest JSON in ``directory``, oldest first.
 
     Files that fail to parse or carry a foreign schema are skipped —
-    the directory is a drop box, not a database.
+    the directory is a drop box, not a database — but each skip is
+    reported through ``on_skip(path, reason)`` so callers can surface
+    a corrupt drop instead of silently under-counting runs.
     """
     directory = manifest_dir() if directory is None else pathlib.Path(directory)
     if not directory.is_dir():
@@ -122,9 +128,18 @@ def load_manifests(directory: pathlib.Path | None = None) -> list[dict[str, obje
     for path in sorted(directory.glob("*.json")):
         try:
             data = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+        except OSError as exc:
+            if on_skip is not None:
+                on_skip(path, f"unreadable: {exc}")
+            continue
+        except json.JSONDecodeError as exc:
+            if on_skip is not None:
+                on_skip(path, f"invalid JSON: {exc}")
             continue
         if not isinstance(data, dict) or data.get("schema") != MANIFEST_SCHEMA:
+            if on_skip is not None:
+                found = data.get("schema") if isinstance(data, dict) else type(data).__name__
+                on_skip(path, f"foreign schema: {found!r} (expected {MANIFEST_SCHEMA!r})")
             continue
         data["_path"] = str(path)
         manifests.append(data)
@@ -144,16 +159,18 @@ def _error_columns(rows: Iterable[Mapping[str, object]]) -> dict[str, list[float
 
 def aggregate_manifests(
     directory: pathlib.Path | None = None,
+    on_skip: "Callable[[pathlib.Path, str], None] | None" = None,
 ) -> list[dict[str, object]]:
     """Aggregate manifests into one summary row per experiment.
 
     Each row reports how often the experiment ran, the latest run's
-    wall-clock, total build/query span time in the latest run, and the
-    mean of the latest run's error columns — the at-a-glance trajectory
+    wall-clock, total build/query span time in the latest run, the mean
+    of the latest run's error columns, and the latest run's p90 q-error
+    when accuracy tracking recorded one — the at-a-glance trajectory
     ``python -m repro stats`` prints.
     """
     by_experiment: dict[str, list[dict[str, object]]] = {}
-    for manifest in load_manifests(directory):
+    for manifest in load_manifests(directory, on_skip):
         by_experiment.setdefault(str(manifest.get("experiment")), []).append(manifest)
 
     rows = []
@@ -180,6 +197,8 @@ def aggregate_manifests(
             if mre_columns
             else float("nan")
         )
+        qerror = values.get("quality.qerror", {})
+        qerror_p90 = qerror.get("p90") if isinstance(qerror, Mapping) else None
         rows.append(
             {
                 "experiment": experiment,
@@ -191,6 +210,11 @@ def aggregate_manifests(
                 "queries": int(counters.get("estimator.query", 0)),
                 "query time [s]": round(float(query_seconds), 3),
                 "mean error": round(mean_error, 4) if mean_error == mean_error else "-",
+                "p90 q-error": (
+                    round(float(qerror_p90), 3)
+                    if isinstance(qerror_p90, (int, float)) and math.isfinite(qerror_p90)
+                    else "-"
+                ),
             }
         )
     return rows

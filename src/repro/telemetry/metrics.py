@@ -1,10 +1,18 @@
-"""Counters, timers and value histograms with percentile summaries.
+"""Counters, gauges and value series with bounded-memory summaries.
 
-:class:`MetricsRegistry` is deliberately small: two maps (monotonic
-counters, observed-value series) plus a timing context manager.  Raw
-observations are kept so percentiles are exact; the estimation
-workloads this instruments record at most a few thousand observations
-per name, so memory is not a concern.
+:class:`MetricsRegistry` keeps three maps — monotonic counters,
+last-write-wins gauges and observed-value series — plus a timing
+context manager.  A value series keeps its raw observations only up to
+:data:`RAW_SAMPLE_CAP` (percentiles are exact there); past the cap the
+raw samples are dropped and the series is summarized by a
+:class:`~repro.telemetry.sketch.QuantileSketch`, so a long-lived
+serving registry holds O(1) memory per series no matter how many
+observations stream through.  Count, total, min and max stay exact in
+both regimes.
+
+Registries are thread-safe (the parallel experiment harness records
+from worker threads into one shared instance) and mergeable
+(:meth:`MetricsRegistry.merge` folds per-worker registries into one).
 """
 
 from __future__ import annotations
@@ -14,10 +22,15 @@ import math
 import threading
 import time
 from contextlib import contextmanager
-from typing import Iterator, Mapping
+from typing import Iterable, Iterator, Mapping
+
+from repro.telemetry.sketch import QuantileSketch
 
 #: Percentiles reported by :meth:`MetricsRegistry.summary`.
 PERCENTILES = (50.0, 90.0, 99.0)
+
+#: Raw observations kept per series before falling back to the sketch.
+RAW_SAMPLE_CAP = 8_192
 
 
 def _percentile(ordered: list[float], q: float) -> float:
@@ -35,7 +48,13 @@ def _percentile(ordered: list[float], q: float) -> float:
 
 @dataclasses.dataclass(frozen=True)
 class ValueSummary:
-    """Summary statistics of one observed-value series."""
+    """Summary statistics of one observed-value series.
+
+    ``exact`` is ``True`` while the series still holds all raw
+    observations (percentiles are interpolated exactly) and ``False``
+    once it spilled to the quantile sketch (percentiles are then
+    within the sketch's relative-accuracy bound, 1 % by default).
+    """
 
     count: int
     total: float
@@ -45,24 +64,113 @@ class ValueSummary:
     p50: float
     p90: float
     p99: float
+    exact: bool = True
 
-    def as_dict(self) -> dict[str, float]:
+    def as_dict(self) -> dict[str, object]:
         """Plain-dict rendering (JSON-friendly)."""
         return dataclasses.asdict(self)
 
 
-class MetricsRegistry:
-    """Named counters and observed-value series.
+class _Series:
+    """One value series: exact scalars + capped raw samples + sketch."""
 
-    Counters answer "how many times" (``inc``); value series answer
-    "how large / how long" (``observe``, ``time``) and summarize to
-    count/total/mean/min/max and the :data:`PERCENTILES`.
+    __slots__ = ("count", "total", "min", "max", "raw", "sketch")
+
+    def __init__(self, relative_accuracy: float) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.raw: list[float] | None = []
+        self.sketch = QuantileSketch(relative_accuracy)
+
+    def observe(self, value: float, cap: int) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.sketch.add(value)
+        if self.raw is not None:
+            self.raw.append(value)
+            if len(self.raw) > cap:
+                # Spill: past the cap only the sketch summarizes.
+                self.raw = None
+
+    def freeze(self) -> "_Series":
+        """A consistent copy for lock-free summarization."""
+        clone = _Series.__new__(_Series)
+        clone.count = self.count
+        clone.total = self.total
+        clone.min = self.min
+        clone.max = self.max
+        clone.raw = None if self.raw is None else list(self.raw)
+        clone.sketch = self.sketch.copy()
+        return clone
+
+    def merge(self, other: "_Series", cap: int) -> None:
+        """Fold a frozen copy of another series into this one."""
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.sketch.merge(other.sketch)
+        if self.raw is not None and other.raw is not None:
+            self.raw.extend(other.raw)
+            if len(self.raw) > cap:
+                self.raw = None
+        else:
+            self.raw = None
+
+    def summary(self) -> ValueSummary:
+        exact = self.raw is not None
+        if exact:
+            ordered = sorted(self.raw or ())
+            percentiles = {q: _percentile(ordered, q) for q in PERCENTILES}
+        else:
+            percentiles = {q: self.sketch.percentile(q) for q in PERCENTILES}
+        return ValueSummary(
+            count=self.count,
+            total=float(self.total),
+            mean=float(self.total / self.count) if self.count else math.nan,
+            min=self.min,
+            max=self.max,
+            p50=percentiles[50.0],
+            p90=percentiles[90.0],
+            p99=percentiles[99.0],
+            exact=exact,
+        )
+
+
+class MetricsRegistry:
+    """Named counters, gauges and observed-value series.
+
+    Counters answer "how many times" (``inc``); gauges answer "what is
+    the level right now" (``set_gauge``); value series answer "how
+    large / how long" (``observe``, ``time``) and summarize to
+    count/total/mean/min/max and the :data:`PERCENTILES` — exactly up
+    to ``raw_sample_cap`` observations, sketch-approximated (and
+    O(1)-memory) beyond.
+
+    ``reset()`` drops everything recorded while keeping the
+    configuration, the hook a long-lived serving registry uses between
+    scrape windows.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        raw_sample_cap: int = RAW_SAMPLE_CAP,
+        relative_accuracy: float = 0.01,
+    ) -> None:
+        if raw_sample_cap < 1:
+            raise ValueError(f"raw_sample_cap must be >= 1, got {raw_sample_cap}")
+        self._cap = int(raw_sample_cap)
+        self._accuracy = float(relative_accuracy)
         self._counters: dict[str, float] = {}
-        self._values: dict[str, list[float]] = {}
-        # Guards both maps: the parallel experiment harness records
+        self._gauges: dict[str, float] = {}
+        self._values: dict[str, _Series] = {}
+        # Guards all maps: the parallel experiment harness records
         # metrics from worker threads into one shared registry.
         self._lock = threading.Lock()
 
@@ -73,10 +181,27 @@ class MetricsRegistry:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0.0) + float(amount)
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        with self._lock:
+            self._gauges[name] = float(value)
+
     def observe(self, name: str, value: float) -> None:
         """Append one observation to the value series ``name``."""
         with self._lock:
-            self._values.setdefault(name, []).append(float(value))
+            series = self._values.get(name)
+            if series is None:
+                series = self._values[name] = _Series(self._accuracy)
+            series.observe(float(value), self._cap)
+
+    def observe_many(self, name: str, values: Iterable[float]) -> None:
+        """Append a batch of observations under one lock acquisition."""
+        with self._lock:
+            series = self._values.get(name)
+            if series is None:
+                series = self._values[name] = _Series(self._accuracy)
+            for value in values:
+                series.observe(float(value), self._cap)
 
     @contextmanager
     def time(self, name: str) -> Iterator[None]:
@@ -94,10 +219,27 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(name, 0.0)
 
-    def values(self, name: str) -> tuple[float, ...]:
-        """Raw observations of series ``name`` (empty if unknown)."""
+    def gauge(self, name: str) -> float:
+        """Current value of gauge ``name`` (``nan`` if never set)."""
         with self._lock:
-            return tuple(self._values.get(name, ()))
+            return self._gauges.get(name, math.nan)
+
+    def values(self, name: str) -> tuple[float, ...]:
+        """Raw observations of series ``name`` still retained.
+
+        Empty for unknown series *and* for series that spilled past the
+        raw-sample cap (use :meth:`summary` for those).
+        """
+        with self._lock:
+            series = self._values.get(name)
+            if series is None or series.raw is None:
+                return ()
+            return tuple(series.raw)
+
+    def series_names(self) -> tuple[str, ...]:
+        """Names of all value series, sorted."""
+        with self._lock:
+            return tuple(sorted(self._values))
 
     def summary(self, name: str) -> ValueSummary:
         """Summary statistics of series ``name``.
@@ -108,33 +250,61 @@ class MetricsRegistry:
             If nothing was ever observed under ``name``.
         """
         with self._lock:
-            series = list(self._values.get(name, ()))
-        if not series:
+            series = self._values.get(name)
+            frozen = None if series is None else series.freeze()
+        if frozen is None or frozen.count == 0:
             raise KeyError(f"no observations recorded under {name!r}")
-        ordered = sorted(series)
-        return ValueSummary(
-            count=len(ordered),
-            total=float(sum(ordered)),
-            mean=float(sum(ordered) / len(ordered)),
-            min=ordered[0],
-            max=ordered[-1],
-            p50=_percentile(ordered, 50.0),
-            p90=_percentile(ordered, 90.0),
-            p99=_percentile(ordered, 99.0),
-        )
+        return frozen.summary()
 
     def snapshot(self) -> dict[str, Mapping[str, object]]:
-        """Everything recorded, as plain nested dicts."""
+        """Everything recorded, as plain nested dicts.
+
+        Atomic: counters, gauges and every series are captured under a
+        single lock acquisition, so concurrent ``observe``/``inc``
+        calls cannot tear the view (a counter and its value series
+        always agree).
+        """
         with self._lock:
             counters = dict(sorted(self._counters.items()))
-            names = sorted(self._values)
+            gauges = dict(sorted(self._gauges.items()))
+            frozen = {name: self._values[name].freeze() for name in sorted(self._values)}
         return {
             "counters": counters,
-            "values": {name: self.summary(name).as_dict() for name in names},
+            "gauges": gauges,
+            "values": {name: series.summary().as_dict() for name, series in frozen.items()},
         }
 
+    # -- lifecycle ----------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's recordings into this one.
+
+        Counters add, value series merge (sketches merge losslessly at
+        their shared resolution), gauges take the other registry's
+        value.  ``other`` is left unchanged; both sides may be observed
+        into concurrently — each side's lock is held only while its own
+        state is touched, never both at once.
+        """
+        if other is self:
+            return
+        with other._lock:
+            counters = dict(other._counters)
+            gauges = dict(other._gauges)
+            frozen = {name: series.freeze() for name, series in other._values.items()}
+        with self._lock:
+            for name, amount in counters.items():
+                self._counters[name] = self._counters.get(name, 0.0) + amount
+            self._gauges.update(gauges)
+            for name, series in frozen.items():
+                mine = self._values.get(name)
+                if mine is None:
+                    self._values[name] = series
+                else:
+                    mine.merge(series, self._cap)
+
     def reset(self) -> None:
-        """Drop all counters and observations."""
+        """Drop all counters, gauges and observations (keeps config)."""
         with self._lock:
             self._counters.clear()
+            self._gauges.clear()
             self._values.clear()

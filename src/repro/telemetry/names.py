@@ -50,6 +50,12 @@ REGISTERED_NAMES: frozenset[str] = frozenset(
         "online.scan.fraction",
         "online.resmooth",
         "online.bandwidth",
+        # -- accuracy tracking (repro.telemetry.quality) ---------------
+        "quality.observations",
+        # -- drift / staleness monitors (repro.telemetry.drift) --------
+        "drift.values",
+        # -- SLO evaluation (repro.telemetry.slo) ----------------------
+        "slo.violations",
     }
 )
 
@@ -69,6 +75,19 @@ REGISTERED_PREFIXES: frozenset[str] = frozenset(
         # cache verbs + per-cache-name tallies (repro.db.cache)
         "cache.hit",
         "cache.miss",
+        # q-error / absolute-error series, optionally keyed by
+        # estimator class or table (repro.telemetry.quality)
+        "quality.qerror",
+        "quality.abs_error",
+        # per-(table, column) KS gauges + per-table staleness gauges
+        # (repro.telemetry.drift)
+        "drift.ks",
+        "drift.staleness.age",
+        "drift.staleness.lag",
+        # per-estimator-class distribution-shift gauges (repro.feedback)
+        "drift.feedback.shift",
+        # per-spec SLO burn gauges (repro.telemetry.slo)
+        "slo.burn",
         # every span auto-mirrors into a ``span.<name>`` series
         # (repro.telemetry.runtime)
         "span",

@@ -1,0 +1,182 @@
+"""Accuracy telemetry: q-error and absolute error against ground truth.
+
+Selectivity estimates are only observable as *good* or *bad* when the
+true result is known — after a query executes (the feedback path),
+when the evaluation harness replays a query file with exact counts, or
+when a caller feeds an executed cardinality back to the planner.  This
+module turns those moments into first-class metrics:
+
+* ``quality.qerror`` / ``quality.qerror.<key>`` — the q-error
+  ``max(est, truth) / min(est, truth)`` (both floored at
+  :data:`QERROR_FLOOR` so empty results stay finite), the standard
+  cardinality-estimation accuracy measure: symmetric, multiplicative,
+  1.0 is perfect.
+* ``quality.abs_error`` / ``quality.abs_error.<key>`` — absolute
+  selectivity error ``|est - truth|``.
+* ``quality.observations`` — how many (estimate, truth) pairs were
+  recorded.
+
+``<key>`` is the estimator class name, the table name, or both
+(``<table>.<Class>``) — whatever the recording site knows.  The
+(query, estimate, truth) stream this records is exactly what
+workload-aware estimation work consumes (see PAPERS.md: online
+learning from selectivities).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.telemetry.runtime import get_telemetry
+
+if TYPE_CHECKING:
+    from repro.telemetry.export import JsonlEventLog
+    from repro.telemetry.runtime import Telemetry
+
+#: Selectivity floor applied to both sides of the q-error ratio, so
+#: zero-truth (or zero-estimate) queries produce a large-but-finite
+#: q-error instead of a division by zero.
+QERROR_FLOOR = 1e-6
+
+
+def qerror(estimate: float, truth: float, floor: float = QERROR_FLOOR) -> float:
+    """The q-error of one (estimate, truth) selectivity pair."""
+    est = max(float(estimate), floor)
+    true = max(float(truth), floor)
+    return est / true if est >= true else true / est
+
+
+def qerrors(
+    estimates: np.ndarray, truths: np.ndarray, floor: float = QERROR_FLOOR
+) -> np.ndarray:
+    """Vectorized :func:`qerror` over parallel arrays."""
+    est = np.maximum(np.asarray(estimates, dtype=np.float64), floor)
+    true = np.maximum(np.asarray(truths, dtype=np.float64), floor)
+    return np.maximum(est / true, true / est)
+
+
+@dataclasses.dataclass(frozen=True)
+class QualityRecord:
+    """One recorded (estimate, truth) comparison."""
+
+    estimate: float
+    truth: float
+    qerror: float
+    abs_error: float
+
+
+class QualityTracker:
+    """Records estimate-accuracy metrics into a telemetry registry.
+
+    Parameters
+    ----------
+    telemetry:
+        Telemetry object to record into; ``None`` resolves the
+        process-global object *per call*, so one tracker instance
+        follows session swaps.
+    event_log:
+        Optional :class:`~repro.telemetry.export.JsonlEventLog`; when
+        given, every recorded pair also appends one structured
+        ``quality`` event.
+    """
+
+    def __init__(
+        self,
+        telemetry: "Telemetry | None" = None,
+        event_log: "JsonlEventLog | None" = None,
+    ) -> None:
+        self._telemetry = telemetry
+        self._event_log = event_log
+
+    def _resolve(self) -> "Telemetry":
+        return self._telemetry if self._telemetry is not None else get_telemetry()
+
+    def record(
+        self,
+        estimate: float,
+        truth: float,
+        key: str | None = None,
+    ) -> QualityRecord:
+        """Record one (estimated, true) selectivity pair.
+
+        Returns the computed :class:`QualityRecord` regardless of
+        whether telemetry is enabled; metrics are only emitted when it
+        is.
+        """
+        record = QualityRecord(
+            estimate=float(estimate),
+            truth=float(truth),
+            qerror=qerror(estimate, truth),
+            abs_error=abs(float(estimate) - float(truth)),
+        )
+        telemetry = self._resolve()
+        if telemetry.enabled:
+            metrics = telemetry.metrics
+            metrics.inc("quality.observations")
+            metrics.observe("quality.qerror", record.qerror)
+            metrics.observe("quality.abs_error", record.abs_error)
+            if key:
+                metrics.observe(f"quality.qerror.{key}", record.qerror)
+                metrics.observe(f"quality.abs_error.{key}", record.abs_error)
+        if self._event_log is not None:
+            self._event_log.emit(
+                "quality",
+                key=key,
+                estimate=record.estimate,
+                truth=record.truth,
+                qerror=record.qerror,
+                abs_error=record.abs_error,
+            )
+        return record
+
+    def record_batch(
+        self,
+        estimates: np.ndarray,
+        truths: np.ndarray,
+        key: str | None = None,
+    ) -> np.ndarray:
+        """Record a whole workload of pairs; returns the q-errors.
+
+        Batch metrics go through ``observe_many`` (one lock
+        acquisition per series), so replaying a thousand-query file
+        costs four registry operations, not four thousand.
+        """
+        est = np.asarray(estimates, dtype=np.float64)
+        true = np.asarray(truths, dtype=np.float64)
+        if est.shape != true.shape:
+            raise ValueError(
+                f"estimate/truth arrays differ in shape: {est.shape} vs {true.shape}"
+            )
+        q = qerrors(est, true)
+        telemetry = self._resolve()
+        if telemetry.enabled and q.size:
+            abs_errors = np.abs(est - true)
+            metrics = telemetry.metrics
+            metrics.inc("quality.observations", q.size)
+            metrics.observe_many("quality.qerror", q.ravel())
+            metrics.observe_many("quality.abs_error", abs_errors.ravel())
+            if key:
+                metrics.observe_many(f"quality.qerror.{key}", q.ravel())
+                metrics.observe_many(f"quality.abs_error.{key}", abs_errors.ravel())
+        return q
+
+
+#: Default tracker: records into whatever telemetry object is current.
+_DEFAULT_TRACKER = QualityTracker()
+
+
+def record_quality(
+    estimate: float, truth: float, key: str | None = None
+) -> QualityRecord:
+    """Record one pair through the default tracker."""
+    return _DEFAULT_TRACKER.record(estimate, truth, key)
+
+
+def record_quality_batch(
+    estimates: np.ndarray, truths: np.ndarray, key: str | None = None
+) -> np.ndarray:
+    """Record a workload of pairs through the default tracker."""
+    return _DEFAULT_TRACKER.record_batch(estimates, truths, key)

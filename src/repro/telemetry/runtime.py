@@ -110,14 +110,33 @@ class Telemetry:
             if not tracemalloc.is_tracing():
                 tracemalloc.start()
                 self._started_memory = True
+            else:
+                # `reset_peak` floors the process-wide watermark at the
+                # current usage — it cannot be restored upward — so the
+                # peak observed up to this instant must be banked into
+                # every open ancestor before this span claims a fresh
+                # window, or a deep child would erase its parent's peak.
+                self._fold_peak_into_open_spans()
             tracemalloc.reset_peak()
         record.start = time.perf_counter()
         self._stack.append(record)
 
+    def _fold_peak_into_open_spans(self) -> None:
+        peak = tracemalloc.get_traced_memory()[1]
+        for open_record in self._stack:
+            if open_record.memory_peak is None or peak > open_record.memory_peak:
+                open_record.memory_peak = peak
+
     def _close(self, record: SpanRecord) -> None:
         record.duration = time.perf_counter() - record.start
         if self.trace_memory and tracemalloc.is_tracing():
-            record.memory_peak = tracemalloc.get_traced_memory()[1]
+            # Max with any peak banked while children reset the
+            # watermark; the watermark itself is NOT reset here, so the
+            # parent's closing read still covers this span's interval
+            # and parent peaks dominate child peaks.
+            peak = tracemalloc.get_traced_memory()[1]
+            if record.memory_peak is None or peak > record.memory_peak:
+                record.memory_peak = peak
         # Close any nested spans left open by an exception unwinding
         # through them, then detach this record from the stack.
         while self._stack and self._stack[-1] is not record:

@@ -1,0 +1,275 @@
+"""Bounded-memory streaming quantile sketches.
+
+:class:`repro.telemetry.metrics.MetricsRegistry` keeps every raw
+observation of a value series only up to a configurable cap; a serving
+process observing millions of latencies per hour would otherwise grow
+without bound.  Above the cap, percentile summaries come from the
+:class:`QuantileSketch` defined here — a log-binned sketch in the
+DDSketch family (Masson, Rim & Lee, VLDB 2019): each positive value
+``v`` lands in bin ``ceil(log_gamma(v))`` where ``gamma`` is chosen so
+the bin midpoint is within a fixed *relative* error of every value in
+the bin.
+
+Guarantees
+----------
+* **Accuracy**: any quantile estimate is within ``relative_accuracy``
+  (default 1 %) of some value between the true quantile's neighbours;
+  ``min``/``max``/``count``/``sum`` are exact.
+* **Memory**: the number of bins is bounded by the dynamic range of
+  the data (``log_gamma(max/min)``) and hard-capped at ``max_bins``
+  (lowest bins collapse first, biasing only the extreme low tail), so
+  a series holds O(1) memory no matter how many values stream through.
+* **Mergeability**: ``merge`` folds another sketch in bin-by-bin with
+  no accuracy loss beyond the shared bin width — per-worker sketches
+  from the parallel harness combine into one process summary.
+
+Thread safety: all mutating and reading entry points take an internal
+lock, so one sketch may be fed from several harness workers directly.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Iterable
+
+#: Default relative accuracy of quantile estimates.
+DEFAULT_RELATIVE_ACCURACY = 0.01
+
+#: Default hard cap on the number of log bins (positive + negative).
+DEFAULT_MAX_BINS = 4096
+
+#: Magnitudes at or below this are counted in the exact zero bucket.
+_TINY = 1e-12
+
+
+class QuantileSketch:
+    """A mergeable, thread-safe, log-binned streaming quantile sketch.
+
+    Parameters
+    ----------
+    relative_accuracy:
+        Bound on the relative error of quantile estimates, in (0, 1).
+    max_bins:
+        Hard cap on stored bins; when exceeded, the lowest-magnitude
+        positive bins collapse together (the extreme low tail loses
+        resolution first).
+    """
+
+    def __init__(
+        self,
+        relative_accuracy: float = DEFAULT_RELATIVE_ACCURACY,
+        max_bins: int = DEFAULT_MAX_BINS,
+    ) -> None:
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError(
+                f"relative_accuracy must be in (0, 1), got {relative_accuracy}"
+            )
+        if max_bins < 8:
+            raise ValueError(f"max_bins must be >= 8, got {max_bins}")
+        self._alpha = float(relative_accuracy)
+        self._gamma = (1.0 + self._alpha) / (1.0 - self._alpha)
+        self._log_gamma = math.log(self._gamma)
+        self._max_bins = int(max_bins)
+        # bin index -> count, for positive and (mirrored) negative values.
+        self._positive: dict[int, int] = {}
+        self._negative: dict[int, int] = {}
+        self._zero = 0
+        self._count = 0
+        self._total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    # -- properties ----------------------------------------------------
+
+    @property
+    def relative_accuracy(self) -> float:
+        """Configured relative-error bound."""
+        return self._alpha
+
+    @property
+    def count(self) -> int:
+        """Number of values added (exact)."""
+        with self._lock:
+            return self._count
+
+    @property
+    def total(self) -> float:
+        """Sum of all added values (exact)."""
+        with self._lock:
+            return self._total
+
+    @property
+    def min(self) -> float:
+        """Smallest value added (exact; ``inf`` when empty)."""
+        with self._lock:
+            return self._min
+
+    @property
+    def max(self) -> float:
+        """Largest value added (exact; ``-inf`` when empty)."""
+        with self._lock:
+            return self._max
+
+    @property
+    def n_bins(self) -> int:
+        """Stored bins right now (the memory footprint, in entries)."""
+        with self._lock:
+            return len(self._positive) + len(self._negative)
+
+    # -- recording -----------------------------------------------------
+
+    def _index(self, magnitude: float) -> int:
+        return int(math.ceil(math.log(magnitude) / self._log_gamma))
+
+    def _value(self, index: int) -> float:
+        # Midpoint (harmonic) of the bin (gamma^(i-1), gamma^i]: within
+        # `relative_accuracy` of every value in the bin.
+        return 2.0 * self._gamma ** index / (self._gamma + 1.0)
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Add ``value`` (``count`` times) to the sketch."""
+        if count < 1:
+            return
+        value = float(value)
+        with self._lock:
+            self._add_locked(value, count)
+
+    def _add_locked(self, value: float, count: int) -> None:
+        self._count += count
+        self._total += value * count
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if abs(value) <= _TINY:
+            self._zero += count
+        elif value > 0:
+            index = self._index(value)
+            self._positive[index] = self._positive.get(index, 0) + count
+        else:
+            index = self._index(-value)
+            self._negative[index] = self._negative.get(index, 0) + count
+        if len(self._positive) + len(self._negative) > self._max_bins:
+            self._collapse_locked()
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Add every value of an iterable under one lock acquisition."""
+        with self._lock:
+            for value in values:
+                self._add_locked(float(value), 1)
+
+    def _collapse_locked(self) -> None:
+        """Fold the lowest-magnitude positive bins together.
+
+        Keeps the total bin budget: resolution is lost only on the low
+        tail of the smaller-magnitude side, the least interesting end
+        for latency-style series.
+        """
+        side = self._positive if len(self._positive) >= len(self._negative) else self._negative
+        if len(side) < 2:
+            return
+        ordered = sorted(side)
+        victim, survivor = ordered[0], ordered[1]
+        side[survivor] = side.get(survivor, 0) + side.pop(victim)
+
+    # -- merging -------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other`` into this sketch (``other`` is unchanged).
+
+        Requires matching ``relative_accuracy`` (identical bin edges);
+        merging is lossless with respect to the shared bin resolution.
+        """
+        if not math.isclose(other._gamma, self._gamma):
+            raise ValueError(
+                "cannot merge sketches with different relative accuracies: "
+                f"{self._alpha} vs {other._alpha}"
+            )
+        if other is self:
+            return
+        state = other._export_state()
+        with self._lock:
+            positive, negative, zero, count, total, low, high = state
+            for index, n in positive.items():
+                self._positive[index] = self._positive.get(index, 0) + n
+            for index, n in negative.items():
+                self._negative[index] = self._negative.get(index, 0) + n
+            self._zero += zero
+            self._count += count
+            self._total += total
+            self._min = min(self._min, low)
+            self._max = max(self._max, high)
+            while len(self._positive) + len(self._negative) > self._max_bins:
+                self._collapse_locked()
+
+    def _export_state(
+        self,
+    ) -> tuple[dict[int, int], dict[int, int], int, int, float, float, float]:
+        with self._lock:
+            return (
+                dict(self._positive),
+                dict(self._negative),
+                self._zero,
+                self._count,
+                self._total,
+                self._min,
+                self._max,
+            )
+
+    def copy(self) -> "QuantileSketch":
+        """An independent deep copy (safe under concurrent adds)."""
+        clone = QuantileSketch(self._alpha, self._max_bins)
+        (
+            clone._positive,
+            clone._negative,
+            clone._zero,
+            clone._count,
+            clone._total,
+            clone._min,
+            clone._max,
+        ) = self._export_state()
+        return clone
+
+    # -- reading -------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimate, ``q`` in [0, 1].
+
+        Within ``relative_accuracy`` of an actual data value at the
+        requested rank; exact at the extremes (``q`` 0 and 1 return the
+        tracked min/max).  ``nan`` when the sketch is empty.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return math.nan
+            if q <= 0.0:
+                return self._min
+            if q >= 1.0:
+                return self._max
+            rank = q * (self._count - 1)
+            cumulative = 0
+            # Ascending value order: most-negative first (descending
+            # magnitude index), then zeros, then positives ascending.
+            for index in sorted(self._negative, reverse=True):
+                cumulative += self._negative[index]
+                if cumulative > rank:
+                    return self._clamp(-self._value(index))
+            cumulative += self._zero
+            if cumulative > rank:
+                return self._clamp(0.0)
+            for index in sorted(self._positive):
+                cumulative += self._positive[index]
+                if cumulative > rank:
+                    return self._clamp(self._value(index))
+            return self._max
+
+    def _clamp(self, value: float) -> float:
+        return min(max(value, self._min), self._max)
+
+    def percentile(self, p: float) -> float:
+        """:meth:`quantile` with ``p`` in [0, 100] (registry convention)."""
+        return self.quantile(p / 100.0)

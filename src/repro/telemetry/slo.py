@@ -1,0 +1,332 @@
+"""Declarative service-level objectives over the telemetry surface.
+
+An :class:`SLOSpec` names one objective — a latency-percentile
+ceiling, a q-error budget, a cache hit-rate floor — and says where the
+observed number comes from:
+
+* ``kind="quantile"`` — a percentile/aggregate of a value series in a
+  registry snapshot (``metric`` is the series name, ``objective`` one
+  of ``p50``/``p90``/``p99``/``mean``/``max``).
+* ``kind="hit_rate"`` — ``cache.hit.<metric>`` vs
+  ``cache.miss.<metric>`` counters, evaluated as hits/(hits+misses).
+* ``kind="bench"`` — an entry of the committed ``BENCH_perf.json``
+  perf trajectory (``metric`` is the entry name, ``objective``
+  ``median``/``mean``), so CI can hold latency SLOs against the
+  recorded benchmark numbers.
+
+Evaluation produces :class:`SLOResult` rows with a pass/fail verdict
+and a **burn** ratio — the fraction of the budget consumed (1.0 is
+exactly at the objective; above 1.0 the objective is violated).  Specs
+whose data source has fewer than ``min_count`` observations are
+*skipped*, not failed: an SLO on a cold registry is unknowable, and a
+serving gate must distinguish "violated" from "no traffic yet".
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pathlib
+from typing import Mapping, Sequence
+
+from repro.telemetry.runtime import get_telemetry
+
+_QUANTILE_OBJECTIVES = frozenset({"p50", "p90", "p99", "mean", "max", "min"})
+_BENCH_OBJECTIVES = frozenset({"median", "mean"})
+_KINDS = frozenset({"quantile", "hit_rate", "bench"})
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOSpec:
+    """One declarative objective.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (``batch-10k-p99``).
+    kind:
+        ``"quantile"``, ``"hit_rate"`` or ``"bench"`` (see module doc).
+    metric:
+        Series name, cache name, or bench entry the objective reads.
+    objective:
+        Aggregate to compare (``p99`` ...); ignored for ``hit_rate``.
+    threshold:
+        The budget: a ceiling when ``direction`` is ``"le"``, a floor
+        when ``"ge"``.
+    direction:
+        ``"le"`` (observed must stay at or below the threshold) or
+        ``"ge"`` (at or above).
+    min_count:
+        Minimum underlying observations before the spec is evaluated;
+        below it the result is *skipped* rather than pass/fail.
+    description:
+        Free-text rationale shown in reports.
+    """
+
+    name: str
+    kind: str
+    metric: str
+    objective: str
+    threshold: float
+    direction: str = "le"
+    min_count: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}; choose from {sorted(_KINDS)}")
+        if self.direction not in ("le", "ge"):
+            raise ValueError(f"direction must be 'le' or 'ge', got {self.direction!r}")
+        if self.kind == "quantile" and self.objective not in _QUANTILE_OBJECTIVES:
+            raise ValueError(
+                f"quantile objective must be one of {sorted(_QUANTILE_OBJECTIVES)}, "
+                f"got {self.objective!r}"
+            )
+        if self.kind == "bench" and self.objective not in _BENCH_OBJECTIVES:
+            raise ValueError(
+                f"bench objective must be one of {sorted(_BENCH_OBJECTIVES)}, "
+                f"got {self.objective!r}"
+            )
+        if self.threshold <= 0 or not math.isfinite(self.threshold):
+            raise ValueError(f"threshold must be positive and finite, got {self.threshold}")
+
+
+@dataclasses.dataclass(frozen=True)
+class SLOResult:
+    """Outcome of evaluating one spec against one data source.
+
+    ``passed`` is ``None`` when the spec was skipped for lack of data;
+    ``burn`` is the budget-consumption ratio (``observed/threshold``
+    for ceilings, ``threshold/observed`` for floors — above 1.0 means
+    the objective is violated either way).
+    """
+
+    spec: SLOSpec
+    observed: float | None
+    count: int
+    passed: bool | None
+    burn: float | None
+
+    @property
+    def status(self) -> str:
+        """``"pass"`` / ``"fail"`` / ``"skipped"``."""
+        if self.passed is None:
+            return "skipped"
+        return "pass" if self.passed else "fail"
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly rendering."""
+        return {
+            "name": self.spec.name,
+            "kind": self.spec.kind,
+            "metric": self.spec.metric,
+            "objective": self.spec.objective,
+            "threshold": self.spec.threshold,
+            "direction": self.spec.direction,
+            "observed": self.observed,
+            "count": self.count,
+            "status": self.status,
+            "burn": self.burn,
+        }
+
+
+def _verdict(spec: SLOSpec, observed: float, count: int) -> SLOResult:
+    if spec.direction == "le":
+        passed = observed <= spec.threshold
+        burn = observed / spec.threshold
+    else:
+        passed = observed >= spec.threshold
+        burn = spec.threshold / observed if observed > 0 else math.inf
+    return SLOResult(spec=spec, observed=observed, count=count, passed=passed, burn=burn)
+
+
+def _skip(spec: SLOSpec, count: int = 0) -> SLOResult:
+    return SLOResult(spec=spec, observed=None, count=count, passed=None, burn=None)
+
+
+def evaluate_snapshot(
+    specs: Sequence[SLOSpec], snapshot: Mapping[str, object]
+) -> list[SLOResult]:
+    """Evaluate quantile/hit-rate specs against a metrics snapshot.
+
+    ``snapshot`` is the dict produced by
+    :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot` (or the
+    ``telemetry.metrics`` section of a run manifest).  Bench specs are
+    skipped here — feed those to :func:`evaluate_bench`.
+    """
+    counters = snapshot.get("counters", {})
+    values = snapshot.get("values", {})
+    if not isinstance(counters, Mapping) or not isinstance(values, Mapping):
+        raise ValueError("snapshot must carry 'counters' and 'values' mappings")
+    results = []
+    for spec in specs:
+        if spec.kind == "quantile":
+            summary = values.get(spec.metric)
+            if not isinstance(summary, Mapping):
+                results.append(_skip(spec))
+                continue
+            count = int(summary.get("count", 0) or 0)
+            observed = summary.get(spec.objective)
+            if count < spec.min_count or not isinstance(observed, (int, float)):
+                results.append(_skip(spec, count))
+                continue
+            results.append(_verdict(spec, float(observed), count))
+        elif spec.kind == "hit_rate":
+            hits = float(counters.get(f"cache.hit.{spec.metric}", 0.0) or 0.0)
+            misses = float(counters.get(f"cache.miss.{spec.metric}", 0.0) or 0.0)
+            lookups = int(hits + misses)
+            if lookups < spec.min_count or lookups == 0:
+                results.append(_skip(spec, lookups))
+                continue
+            results.append(_verdict(spec, hits / (hits + misses), lookups))
+        else:  # bench specs have no data in a registry snapshot
+            results.append(_skip(spec))
+    return results
+
+
+def evaluate_registry(
+    specs: Sequence[SLOSpec],
+    registry: "object | None" = None,
+    *,
+    record: bool = False,
+) -> list[SLOResult]:
+    """Evaluate specs against a live registry (default: the global one).
+
+    With ``record=True`` each evaluated spec's burn is written back as
+    the ``slo.burn.<name>`` gauge and failures count
+    ``slo.violations`` — so a serving loop's own SLO posture is
+    scrapeable like any other metric.
+    """
+    from repro.telemetry.metrics import MetricsRegistry
+
+    if registry is None:
+        registry = get_telemetry().metrics
+    if not isinstance(registry, MetricsRegistry):
+        raise TypeError(f"expected a MetricsRegistry, got {type(registry).__name__}")
+    results = evaluate_snapshot(specs, registry.snapshot())
+    if record:
+        for result in results:
+            if result.burn is not None:
+                registry.set_gauge(f"slo.burn.{result.spec.name}", result.burn)
+            if result.passed is False:
+                registry.inc("slo.violations")
+    return results
+
+
+def evaluate_bench(
+    specs: Sequence[SLOSpec], bench: Mapping[str, Mapping[str, object]]
+) -> list[SLOResult]:
+    """Evaluate bench specs against a ``BENCH_perf.json`` benchmarks map."""
+    results = []
+    for spec in specs:
+        if spec.kind != "bench":
+            continue
+        entry = bench.get(spec.metric)
+        if not isinstance(entry, Mapping):
+            results.append(_skip(spec))
+            continue
+        observed = entry.get(f"{spec.objective}_s")
+        if not isinstance(observed, (int, float)):
+            # Single-round timings only carry mean_s.
+            observed = entry.get("mean_s")
+        rounds = int(entry.get("rounds", 1) or 1)
+        if not isinstance(observed, (int, float)) or rounds < spec.min_count:
+            results.append(_skip(spec, rounds))
+            continue
+        results.append(_verdict(spec, float(observed), rounds))
+    return results
+
+
+def load_bench(path: pathlib.Path) -> dict[str, dict[str, object]]:
+    """The ``benchmarks`` map of a ``BENCH_perf.json`` export file."""
+    payload = json.loads(pathlib.Path(path).read_text())
+    if not isinstance(payload, dict) or not isinstance(payload.get("benchmarks"), dict):
+        raise ValueError(f"{path}: not a benchmark export file")
+    return payload["benchmarks"]
+
+
+def render_report(results: Sequence[SLOResult]) -> str:
+    """One-line-per-spec text report."""
+    if not results:
+        return "(no SLOs evaluated)\n"
+    lines = []
+    width = max(len(result.spec.name) for result in results)
+    for result in results:
+        spec = result.spec
+        bound = "<=" if spec.direction == "le" else ">="
+        if result.observed is None:
+            detail = f"skipped (insufficient data, n={result.count})"
+        else:
+            detail = (
+                f"observed={result.observed:.6g} {bound} {spec.threshold:.6g}  "
+                f"burn={result.burn:.2f}  n={result.count}"
+            )
+        lines.append(f"{result.status.upper():<8} {spec.name:<{width}}  {detail}")
+    failed = sum(1 for result in results if result.passed is False)
+    evaluated = sum(1 for result in results if result.passed is not None)
+    lines.append(
+        f"-- {evaluated} evaluated, {failed} failed, "
+        f"{len(results) - evaluated} skipped"
+    )
+    return "\n".join(lines) + "\n"
+
+
+#: Default objectives ``python -m repro slo`` evaluates: latency
+#: ceilings per batch size against the committed perf trajectory
+#: (generous multiples of the recorded medians, so only a genuine
+#: regression trips them), a q-error budget and a cache hit-rate floor
+#: against the latest run manifests.
+DEFAULT_SLOS: tuple[SLOSpec, ...] = (
+    SLOSpec(
+        name="batch-10-latency",
+        kind="bench",
+        metric="perf_batch.kernel_10",
+        objective="median",
+        threshold=2e-3,
+        description="10-query kernel batch median stays under 2 ms",
+    ),
+    SLOSpec(
+        name="batch-100-latency",
+        kind="bench",
+        metric="perf_batch.kernel_100",
+        objective="median",
+        threshold=5e-3,
+        description="100-query kernel batch median stays under 5 ms",
+    ),
+    SLOSpec(
+        name="batch-1k-latency",
+        kind="bench",
+        metric="perf_batch.kernel_1000",
+        objective="median",
+        threshold=5e-2,
+        description="1k-query kernel batch median stays under 50 ms",
+    ),
+    SLOSpec(
+        name="batch-10k-latency",
+        kind="bench",
+        metric="perf_batch.kernel_10000",
+        objective="median",
+        threshold=5e-1,
+        description="10k-query kernel batch median stays under 500 ms",
+    ),
+    SLOSpec(
+        name="qerror-p90-budget",
+        kind="quantile",
+        metric="quality.qerror",
+        objective="p90",
+        threshold=100.0,
+        min_count=20,
+        description="90th-percentile q-error across recorded truth pairs",
+    ),
+    SLOSpec(
+        name="context-cache-hit-rate",
+        kind="hit_rate",
+        metric="context",
+        objective="ratio",
+        threshold=0.3,
+        direction="ge",
+        min_count=20,
+        description="harness context cache serves >=30% of lookups under load",
+    ),
+)

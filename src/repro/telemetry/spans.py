@@ -30,8 +30,10 @@ class SpanRecord:
         Wall-clock seconds; ``None`` while the span is still open.
     memory_peak:
         Peak ``tracemalloc`` bytes observed inside the span when
-        memory tracing is on, else ``None``.  Approximate under
-        nesting: a child resets the shared peak watermark.
+        memory tracing is on, else ``None``.  Correct under nesting
+        (a parent's peak always covers its children's intervals);
+        still approximate across concurrently tracing threads, since
+        the watermark is process-global.
     children:
         Spans opened (and closed) while this one was open.
     """

@@ -24,6 +24,8 @@ import dataclasses
 import numpy as np
 
 from repro.core.base import SelectivityEstimator
+from repro.telemetry import get_telemetry
+from repro.telemetry.quality import record_quality_batch
 from repro.workload.queries import QueryFile
 
 
@@ -49,7 +51,18 @@ def relative_errors(estimator: SelectivityEstimator, queries: QueryFile) -> np.n
     drop them.
     """
     true = queries.true_counts.astype(np.float64)
-    errors = np.abs(estimated_counts(estimator, queries) - true)
+    estimated = estimated_counts(estimator, queries)
+    if get_telemetry().enabled:
+        # The evaluation harness is the richest source of ground truth:
+        # every (estimate, exact count) pair feeds the quality.qerror /
+        # quality.abs_error series, keyed by estimator class, as
+        # selectivities (the ratio is identical either way).
+        record_quality_batch(
+            estimated / queries.relation_size,
+            true / queries.relation_size,
+            key=type(estimator).__name__,
+        )
+    errors = np.abs(estimated - true)
     # Zero-truth queries divide to inf/NaN here by design: np.where
     # replaces them with NaN and every aggregate helper drops NaNs.
     with np.errstate(divide="ignore", invalid="ignore"):

@@ -1,5 +1,7 @@
 """Tests for the command-line entry point (repro.__main__)."""
 
+import json
+
 import pytest
 
 from repro.__main__ import EXPERIMENTS, main
@@ -49,6 +51,67 @@ class TestCli:
         monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
         assert main(["stats"]) == 0
         assert "no run manifests" in capsys.readouterr().out
+
+    def test_stats_json_format(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
+        assert main(["fig04", "--trace"]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--format", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert isinstance(rows, list) and rows
+        assert rows[0]["experiment"] == "fig04"
+        assert "p90 q-error" in rows[0]
+        # The evaluation path records quality, so the column is populated.
+        assert rows[0]["p90 q-error"] != "-"
+
+    def test_stats_prom_format_parses(self, capsys, tmp_path, monkeypatch):
+        from repro.telemetry import parse_exposition
+
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
+        assert main(["fig04", "--trace"]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--format", "prom"]) == 0
+        samples = parse_exposition(capsys.readouterr().out)
+        assert any(name.endswith("_total") for name in samples)
+        counter = samples["repro_estimator_build_total"]
+        assert counter[0].labels == {"experiment": "fig04"}
+        assert counter[0].value >= 1.0
+
+    def test_trace_writes_prom_exposition_next_to_manifest(self, tmp_path, monkeypatch, capsys):
+        from repro.telemetry import parse_exposition
+
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
+        assert main(["fig04", "--trace"]) == 0
+        capsys.readouterr()
+        [prom] = list(tmp_path.glob("fig04-*.prom"))
+        samples = parse_exposition(prom.read_text())
+        assert samples  # non-empty, well-formed exposition on disk
+
+    def test_corrupt_manifest_warns_but_does_not_fail(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
+        assert main(["fig04", "--trace"]) == 0
+        capsys.readouterr()
+        bad = tmp_path / "fig04-corrupt.json"
+        bad.write_text("{not json")
+        assert main(["stats"]) == 0
+        captured = capsys.readouterr()
+        assert "fig04" in captured.out
+        assert "warning: skipping manifest" in captured.err
+        assert "fig04-corrupt.json" in captured.err
+        assert "invalid JSON" in captured.err
+
+    def test_slo_passes_against_committed_bench(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
+        assert main(["slo"]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out
+        assert "batch" in out
+
+    def test_slo_missing_bench_skips_with_warning(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_MANIFEST_DIR", str(tmp_path))
+        assert main(["slo", "--bench", str(tmp_path / "absent.json")]) == 0
+        captured = capsys.readouterr()
+        assert "skipping bench SLOs" in captured.err
 
     def test_every_registered_experiment_is_runnable(self):
         """Registry sanity: each entry has a run(config) callable."""

@@ -1,0 +1,143 @@
+"""Tests for the bounded-memory quantile sketch (repro.telemetry.sketch)."""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.telemetry.sketch import DEFAULT_MAX_BINS, QuantileSketch
+
+
+class TestAccuracy:
+    def test_percentiles_within_one_percent_on_1e6_observations(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(mean=0.0, sigma=2.0, size=1_000_000)
+        sketch = QuantileSketch(relative_accuracy=0.01)
+        sketch.extend(values)
+        for p in (50.0, 90.0, 99.0, 99.9):
+            estimate = sketch.percentile(p)
+            true = float(np.percentile(values, p))
+            assert abs(estimate - true) / true <= 0.011, f"p{p}"
+
+    def test_exact_scalars(self):
+        values = [3.0, 1.0, 4.0, 1.5, 9.0]
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        assert sketch.count == 5
+        assert sketch.total == pytest.approx(sum(values))
+        assert sketch.min == 1.0
+        assert sketch.max == 9.0
+        assert sketch.quantile(0.0) == 1.0
+        assert sketch.quantile(1.0) == 9.0
+
+    def test_negative_and_zero_values(self):
+        sketch = QuantileSketch()
+        sketch.extend([-5.0, -1.0, 0.0, 0.0, 1.0, 5.0])
+        assert sketch.min == -5.0
+        assert sketch.max == 5.0
+        assert sketch.quantile(0.5) == pytest.approx(0.0, abs=1e-9)
+        low = sketch.quantile(0.1)
+        assert low < 0
+
+    def test_empty_sketch_is_nan(self):
+        assert math.isnan(QuantileSketch().quantile(0.5))
+
+    def test_invalid_quantile_raises(self):
+        with pytest.raises(ValueError):
+            QuantileSketch().quantile(1.5)
+
+    def test_invalid_accuracy_raises(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(relative_accuracy=0.0)
+        with pytest.raises(ValueError):
+            QuantileSketch(relative_accuracy=1.0)
+
+
+class TestMemory:
+    def test_bin_count_is_bounded_by_dynamic_range_not_observations(self):
+        rng = np.random.default_rng(1)
+        sketch = QuantileSketch()
+        sketch.extend(rng.uniform(1.0, 1e6, 1_000_000))
+        # gamma ≈ 1.0202 → ceil(log(1e6)/log(gamma)) ≈ 690 possible bins
+        # for this range, no matter how many observations stream through.
+        assert sketch.n_bins <= 800
+        assert sketch.n_bins <= DEFAULT_MAX_BINS
+
+    def test_repeated_values_add_no_bins(self):
+        values = np.random.default_rng(4).uniform(1.0, 1e3, 1_000)
+        sketch = QuantileSketch()
+        sketch.extend(values)
+        bins = sketch.n_bins
+        for _ in range(5):
+            sketch.extend(values)
+        assert sketch.n_bins == bins
+        assert sketch.count == 6_000
+
+    def test_max_bins_collapse_keeps_budget_and_upper_tail(self):
+        sketch = QuantileSketch(relative_accuracy=0.01, max_bins=16)
+        values = np.logspace(-6, 6, 500)
+        sketch.extend(values)
+        assert sketch.n_bins <= 16
+        # Collapse folds the *low* tail; the top quantiles stay accurate.
+        true_p99 = float(np.percentile(values, 99))
+        assert abs(sketch.percentile(99) - true_p99) / true_p99 <= 0.02
+
+
+class TestMerge:
+    def test_merge_matches_single_sketch_exactly(self):
+        rng = np.random.default_rng(2)
+        values = rng.lognormal(0.0, 1.0, 10_000)
+        whole = QuantileSketch()
+        whole.extend(values)
+        left, right = QuantileSketch(), QuantileSketch()
+        left.extend(values[:4_000])
+        right.extend(values[4_000:])
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.total == pytest.approx(whole.total)
+        for q in (0.1, 0.5, 0.9, 0.99):
+            assert left.quantile(q) == whole.quantile(q)
+
+    def test_merge_leaves_other_unchanged(self):
+        a, b = QuantileSketch(), QuantileSketch()
+        a.extend([1.0, 2.0])
+        b.extend([3.0])
+        a.merge(b)
+        assert b.count == 1
+        assert a.count == 3
+
+    def test_merge_self_is_noop(self):
+        sketch = QuantileSketch()
+        sketch.extend([1.0, 2.0])
+        sketch.merge(sketch)
+        assert sketch.count == 2
+
+    def test_merge_mismatched_accuracy_raises(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(0.01).merge(QuantileSketch(0.05))
+
+    def test_copy_is_independent(self):
+        sketch = QuantileSketch()
+        sketch.extend([1.0, 2.0])
+        clone = sketch.copy()
+        sketch.add(3.0)
+        assert clone.count == 2
+        assert sketch.count == 3
+
+
+class TestThreadSafety:
+    def test_concurrent_adds_count_exactly(self):
+        sketch = QuantileSketch()
+        per_thread = 10_000
+
+        def feed(seed):
+            rng = np.random.default_rng(seed)
+            sketch.extend(rng.uniform(0.1, 10.0, per_thread))
+
+        threads = [threading.Thread(target=feed, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert sketch.count == 4 * per_thread

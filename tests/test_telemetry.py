@@ -77,7 +77,52 @@ class TestMetricsRegistry:
         assert snapshot["counters"] == {"c": 1.0}
         assert snapshot["values"]["v"]["count"] == 1
         registry.reset()
-        assert registry.snapshot() == {"counters": {}, "values": {}}
+        assert registry.snapshot() == {"counters": {}, "gauges": {}, "values": {}}
+
+    def test_gauges_set_and_read(self):
+        registry = MetricsRegistry()
+        assert np.isnan(registry.gauge("g"))
+        registry.set_gauge("g", 0.25)
+        registry.set_gauge("g", 0.75)  # last write wins
+        assert registry.gauge("g") == 0.75
+        assert registry.snapshot()["gauges"] == {"g": 0.75}
+
+    def test_observe_many_matches_observe(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        values = np.linspace(0.0, 1.0, 50)
+        a.observe_many("v", values)
+        for value in values:
+            b.observe("v", float(value))
+        assert a.summary("v").as_dict() == b.summary("v").as_dict()
+
+    def test_values_empty_after_sketch_spill(self):
+        from repro.telemetry.metrics import RAW_SAMPLE_CAP
+
+        registry = MetricsRegistry()
+        registry.observe_many("v", np.linspace(1.0, 2.0, RAW_SAMPLE_CAP + 10))
+        summary = registry.summary("v")
+        assert summary.count == RAW_SAMPLE_CAP + 10
+        assert summary.exact is False
+        assert registry.values("v") == ()
+        # Exact scalars survive the spill; percentiles come from the sketch.
+        assert summary.min == 1.0
+        assert summary.max == 2.0
+        assert abs(summary.p50 - 1.5) / 1.5 <= 0.02
+
+    def test_merge_combines_registries(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.inc("c", 2)
+        b.inc("c", 3)
+        a.observe_many("v", np.array([1.0, 2.0]))
+        b.observe_many("v", np.array([3.0, 4.0]))
+        b.set_gauge("g", 1.5)
+        a.merge(b)
+        assert a.counter("c") == 5.0
+        assert a.summary("v").count == 4
+        assert a.summary("v").total == 10.0
+        assert a.gauge("g") == 1.5
+        # Source registry is unchanged.
+        assert b.counter("c") == 3.0
 
 
 class TestSpans:
@@ -132,6 +177,27 @@ class TestSpans:
             t.metrics.inc("c")
         parsed = json.loads(t.to_json())
         assert parsed["metrics"]["counters"] == {"c": 1.0}
+
+    def test_memory_peak_parent_covers_children(self):
+        # A child span resetting the tracemalloc watermark must not erase
+        # the parent's earlier high-water mark: the big allocation happens
+        # in the parent *before* the child opens, so parent >= child and
+        # parent >= the allocation size must both hold.
+        t = Telemetry(enabled=True, trace_memory=True)
+        try:
+            with t.span("parent"):
+                big = np.ones(2_000_000)  # ~16 MB, tracked by tracemalloc
+                del big
+                with t.span("child"):
+                    small = np.ones(1_000)
+                    del small
+        finally:
+            t.close()
+        parent = t.spans_by_name("parent")[0]
+        child = t.spans_by_name("child")[0]
+        assert parent.memory_peak is not None and child.memory_peak is not None
+        assert parent.memory_peak >= child.memory_peak
+        assert parent.memory_peak >= 2_000_000 * 8
 
 
 class TestDisabledMode:
@@ -201,7 +267,7 @@ class TestEstimatorInstrumentation:
         assert get_telemetry().enabled is False
         estimator = estimators.equi_width(sample, self.DOMAIN)
         estimator.selectivity(10.0, 20.0)
-        assert get_telemetry().metrics.snapshot() == {"counters": {}, "values": {}}
+        assert get_telemetry().metrics.snapshot() == {"counters": {}, "gauges": {}, "values": {}}
 
     def test_clamp_counter(self):
         with telemetry.session() as t:

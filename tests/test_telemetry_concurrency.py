@@ -1,0 +1,143 @@
+# repro: allow-file[telemetry-naming] — synthetic stress-test metric names exercise the registry itself
+"""Concurrency stress tests for the shared metrics registry.
+
+The parallel harness (`run_cells`) feeds one `MetricsRegistry` from a
+thread pool; these tests assert the registry stays *exact* under that
+load — counter totals, observation counts, and merged sketches — so a
+traced parallel run reports the same numbers as a serial one.
+"""
+
+import threading
+
+import numpy as np
+
+from repro import telemetry
+from repro.experiments.harness import run_cells
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.metrics import RAW_SAMPLE_CAP
+
+
+class TestRunCellsSharedRegistry:
+    def test_counters_and_observations_are_exact(self):
+        cells = list(range(16))
+        incs_per_cell = 200
+
+        def evaluate(cell):
+            metrics = telemetry.get_telemetry().metrics
+            for i in range(incs_per_cell):
+                metrics.inc("stress.ops")
+                metrics.observe("stress.latency", 0.001 * (cell + 1) + 1e-6 * i)
+            return cell
+
+        with telemetry.session() as t:
+            results = run_cells(cells, evaluate, max_workers=8)
+
+        assert results == cells
+        assert t.metrics.counter("stress.ops") == 16 * incs_per_cell
+        assert t.metrics.counter("harness.cell") == 16
+        summary = t.metrics.summary("stress.latency")
+        assert summary.count == 16 * incs_per_cell
+        assert summary.min > 0.0
+
+    def test_sketch_spill_under_parallel_load_keeps_exact_count(self):
+        # Force every series past the raw-sample cap so percentiles come
+        # from the sketch, then check nothing was lost on the way there.
+        cells = list(range(8))
+        per_cell = RAW_SAMPLE_CAP // 2  # 8 * cap/2 = 4x the cap in total
+
+        def evaluate(cell):
+            metrics = telemetry.get_telemetry().metrics
+            values = np.linspace(1.0, 2.0, per_cell)
+            metrics.observe_many("stress.spill", values)
+            return cell
+
+        with telemetry.session() as t:
+            run_cells(cells, evaluate, max_workers=8)
+
+        summary = t.metrics.summary("stress.spill")
+        assert summary.count == 8 * per_cell
+        assert summary.exact is False  # spilled into the sketch
+        assert len(t.metrics.values("stress.spill")) == 0
+        assert 1.0 <= summary.p50 <= 2.0
+        assert abs(summary.p50 - 1.5) / 1.5 <= 0.02
+
+
+class TestDirectThreadHammer:
+    def test_many_threads_one_registry(self):
+        registry = MetricsRegistry()
+        n_threads, per_thread = 8, 5_000
+        barrier = threading.Barrier(n_threads)
+
+        def hammer(seed):
+            barrier.wait()
+            rng = np.random.default_rng(seed)
+            values = rng.uniform(0.5, 1.5, per_thread)
+            for value in values[:100]:
+                registry.observe("hammer.v", value)
+            registry.observe_many("hammer.v", values[100:])
+            registry.inc("hammer.n", per_thread)
+            registry.set_gauge("hammer.g", float(seed))
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert registry.counter("hammer.n") == n_threads * per_thread
+        summary = registry.summary("hammer.v")
+        assert summary.count == n_threads * per_thread
+        # Gauge holds the last write of *some* thread.
+        assert registry.gauge("hammer.g") in set(float(i) for i in range(n_threads))
+
+    def test_per_worker_registries_merge_exactly(self):
+        rng = np.random.default_rng(9)
+        values = rng.lognormal(0.0, 1.0, 40_000)
+        shards = np.array_split(values, 4)
+
+        whole = MetricsRegistry()
+        whole.observe_many("merge.v", values)
+        whole.inc("merge.n", values.size)
+
+        combined = MetricsRegistry()
+        for i, shard in enumerate(shards):
+            worker = MetricsRegistry()
+            worker.observe_many("merge.v", shard)
+            worker.inc("merge.n", shard.size)
+            worker.set_gauge("merge.last", float(i))
+            combined.merge(worker)
+
+        assert combined.counter("merge.n") == whole.counter("merge.n")
+        merged, direct = combined.summary("merge.v"), whole.summary("merge.v")
+        assert merged.count == direct.count
+        assert merged.min == direct.min
+        assert merged.max == direct.max
+        assert abs(merged.total - direct.total) <= 1e-6 * abs(direct.total)
+        # Same sketch resolution on both paths: percentiles agree closely.
+        for attr in ("p50", "p90", "p99"):
+            a, b = getattr(merged, attr), getattr(direct, attr)
+            assert abs(a - b) / b <= 0.03, attr
+        assert combined.gauge("merge.last") == 3.0
+
+    def test_concurrent_snapshot_while_writing_is_consistent(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+
+        def write():
+            while not stop.is_set():
+                registry.inc("snap.a")
+                registry.inc("snap.b")
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        try:
+            for _ in range(200):
+                snapshot = registry.snapshot()
+                counters = snapshot["counters"]
+                # Atomic snapshot: both counters bumped in lockstep never
+                # drift apart by more than the one in-flight pair.
+                if "snap.a" in counters and "snap.b" in counters:
+                    assert abs(counters["snap.a"] - counters["snap.b"]) <= 1
+        finally:
+            stop.set()
+            writer.join()

@@ -26,6 +26,10 @@ timings of the same workload — and fails when ``LOADED/BASE`` exceeds
 ``--max-overhead`` (default 1.05, i.e. instrumentation may cost at
 most 5 %).
 
+``--qps ENTRY:FLOOR`` turns an entry of the current file into a
+sustained-throughput check: ``1 / representative seconds`` must meet
+the floor (used for the serving tier's queries-per-second bar).
+
 Updating the baseline
 ---------------------
 When a slowdown is intentional (an accuracy fix that costs time, a
@@ -130,6 +134,38 @@ def check_overhead(
     return failures
 
 
+def check_qps(
+    current: dict[str, dict[str, float]],
+    floors: list[str],
+) -> list[tuple[str, float, float]]:
+    """Throughput floors not met, as ``(entry, qps, floor)`` rows.
+
+    Each floor is ``ENTRY:QPS``; the entry's representative seconds
+    are inverted into a sustained queries-per-second figure and must
+    meet the floor.  A missing entry fails loudly, like ``--overhead``.
+    """
+    failures = []
+    for spec in floors:
+        name, _, floor_text = spec.partition(":")
+        try:
+            floor = float(floor_text)
+        except ValueError:
+            floor = -1.0
+        if not name or floor <= 0:
+            raise SystemExit(f"--qps needs ENTRY:FLOOR with a positive floor, got {spec!r}")
+        if name not in current:
+            raise SystemExit(f"--qps: {name} not in current export")
+        seconds = representative_seconds(current[name])
+        if seconds is None:
+            raise SystemExit(f"--qps: no usable timing for {name!r}")
+        qps = 1.0 / seconds
+        marker = "BELOW FLOOR" if qps < floor else "ok"
+        print(f"  qps {name}: {qps:,.0f} req/s (floor {floor:,.0f}) {marker}")
+        if qps < floor:
+            failures.append((name, qps, floor))
+    return failures
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("baseline", type=pathlib.Path, help="committed export")
@@ -155,6 +191,14 @@ def main(argv: list[str] | None = None) -> int:
         "when LOADED/BASE exceeds --max-overhead (repeatable)",
     )
     parser.add_argument(
+        "--qps",
+        action="append",
+        default=[],
+        metavar="ENTRY:FLOOR",
+        help="require the current export's ENTRY to sustain at least "
+        "FLOOR queries per second (1 / representative seconds; repeatable)",
+    )
+    parser.add_argument(
         "--max-overhead",
         type=float,
         default=DEFAULT_MAX_OVERHEAD,
@@ -169,13 +213,23 @@ def main(argv: list[str] | None = None) -> int:
         tuple(args.prefix),
         args.threshold,
     )
+    current_benchmarks = load_benchmarks(args.current)
     overhead_failures = check_overhead(
-        load_benchmarks(args.current), args.overhead, args.max_overhead
+        current_benchmarks, args.overhead, args.max_overhead
     )
     if overhead_failures:
         for pair, ratio in overhead_failures:
             print(f"perf gate: overhead {pair} at {ratio:.3f}x exceeds "
                   f"{args.max_overhead:.2f}x cap")
+        if os.environ.get("REPRO_PERF_BASELINE_UPDATE") == "1":
+            print("REPRO_PERF_BASELINE_UPDATE=1: reporting only, not failing")
+        else:
+            return 1
+    qps_failures = check_qps(current_benchmarks, args.qps)
+    if qps_failures:
+        for name, qps, floor in qps_failures:
+            print(f"perf gate: {name} sustains only {qps:,.0f} req/s, "
+                  f"below the {floor:,.0f} req/s floor")
         if os.environ.get("REPRO_PERF_BASELINE_UPDATE") == "1":
             print("REPRO_PERF_BASELINE_UPDATE=1: reporting only, not failing")
         else:

@@ -1,0 +1,143 @@
+"""Perf: sustained throughput of the fault-tolerant serving tier.
+
+Drives :class:`repro.serving.EstimationService` with a steady request
+stream — a hot working set answered from the result cache, plus cold
+misses and a degraded (breaker-open) fallback path — and exports the
+sustained seconds-per-request under ``perf_serving.*``.
+
+``benchmarks/perf_gate.py --qps perf_serving.request_sustained:FLOOR``
+turns the sustained number into a CI throughput floor: the resilience
+machinery (admission, deadline checks, breaker lookups, provenance
+stamping) must never drag steady-state serving below the bar.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.domain import Interval
+from repro.db import RangePredicate, Table
+from repro.serving import (
+    EstimationService,
+    FaultInjector,
+    FaultRule,
+    ServiceConfig,
+)
+
+DOMAIN = Interval(0.0, 1_000.0)
+ROWS = 4_000
+
+#: Requests per measured burst; enough for a stable per-request mean.
+SUSTAINED_REQUESTS = 500
+
+#: Acceptance floor asserted locally (the CI gate applies its own via
+#: ``--qps``); deliberately far below observed throughput so only a
+#: structural slowdown — not scheduler noise — can trip it.
+MIN_SUSTAINED_QPS = 200.0
+
+
+def _make_table():
+    rng = np.random.default_rng(0)
+    x = np.clip(rng.normal(400.0, 120.0, ROWS), 0, 1_000)
+    z = rng.uniform(0, 1_000, ROWS)
+    return Table("points", {"x": (x, DOMAIN), "z": (z, DOMAIN)})
+
+
+def _service(faults=None):
+    service = EstimationService(
+        ServiceConfig(sample_size=2_000), seed=0, faults=faults
+    )
+    service.register(_make_table(), seed=7)
+    return service
+
+
+def _hot_requests(n, unique=16):
+    """A request stream over a small working set (mostly cache hits)."""
+    rng = np.random.default_rng(1)
+    lows = rng.uniform(0.0, 800.0, unique)
+    widths = rng.uniform(50.0, 200.0, unique)
+    shapes = [
+        [RangePredicate("x", float(a), float(min(a + w, 1_000.0)))]
+        for a, w in zip(lows, widths)
+    ]
+    return [shapes[i % unique] for i in range(n)]
+
+
+def _cold_requests(n):
+    """Distinct query shapes: every request misses the result cache."""
+    rng = np.random.default_rng(2)
+    lows = rng.uniform(0.0, 800.0, n)
+    widths = rng.uniform(50.0, 200.0, n)
+    return [
+        [RangePredicate("x", float(a), float(min(a + w, 1_000.0)))]
+        for a, w in zip(lows, widths)
+    ]
+
+
+def test_perf_sustained_qps(perf_export):
+    """Steady-state throughput over a hot working set, gated in CI."""
+    service = _service()
+    requests = _hot_requests(SUSTAINED_REQUESTS)
+    # Warm the result cache so the measured burst is steady state.
+    for predicates in _hot_requests(32):
+        service.estimate("points", predicates)
+
+    start = time.perf_counter()
+    for predicates in requests:
+        result = service.estimate("points", predicates)
+        assert np.isfinite(result.plan.estimated_rows)
+    elapsed = time.perf_counter() - start
+
+    per_request = elapsed / len(requests)
+    qps = 1.0 / per_request
+    perf_export.record_seconds("perf_serving", "request_sustained", per_request)
+    perf_export.record_seconds("perf_serving", "qps_sustained_x", qps)
+    assert qps >= MIN_SUSTAINED_QPS, (
+        f"serving sustained only {qps:,.0f} req/s "
+        f"(floor {MIN_SUSTAINED_QPS:,.0f})"
+    )
+
+
+def test_perf_cold_estimate(perf_export):
+    """Cache-missing requests: every answer is planned from statistics."""
+    service = _service()
+    requests = _cold_requests(64)
+    start = time.perf_counter()
+    for predicates in requests:
+        result = service.estimate("points", predicates)
+        assert not result.cached
+    elapsed = time.perf_counter() - start
+    perf_export.record_seconds("perf_serving", "request_cold", elapsed / len(requests))
+
+
+def test_perf_degraded_fallback(perf_export):
+    """Serving with the primary tier breaker-open (fallback path cost)."""
+    faults = FaultInjector(
+        [FaultRule(site="tier.hybrid.estimate", kind="error", message="down")]
+    )
+    service = _service(faults=faults)
+    # Trip the hybrid breaker, then measure the settled fallback path.
+    for predicates in _cold_requests(8):
+        service.estimate("points", predicates)
+    assert service.breaker_states()[("points", "hybrid")] == "open"
+
+    requests = _cold_requests(64)
+    start = time.perf_counter()
+    for predicates in requests:
+        result = service.estimate("points", predicates)
+        assert result.degraded and result.tier == "equi-depth"
+    elapsed = time.perf_counter() - start
+    perf_export.record_seconds("perf_serving", "request_degraded", elapsed / len(requests))
+
+
+def test_degraded_path_is_not_slower_than_cold(perf_export):
+    """Fallback must shed work, not add it: once the breaker is open the
+    degraded path skips the primary tier entirely, so it may not cost
+    more than a healthy cold request by more than measurement noise."""
+    entries = perf_export.entries
+    cold = entries.get("perf_serving.request_cold", {}).get("mean_s")
+    degraded = entries.get("perf_serving.request_degraded", {}).get("mean_s")
+    if cold is None or degraded is None:
+        pytest.skip("run the cold and degraded benchmarks first")
+    assert degraded <= cold * 3.0

@@ -195,6 +195,12 @@ def main(argv: list[str] | None = None) -> int:
         "JSON run manifest under benchmarks/reports/manifests/",
     )
     parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="run every selected experiment even if one fails; report "
+        "per-experiment errors at the end and exit 1 if any failed",
+    )
+    parser.add_argument(
         "--trace-memory",
         action="store_true",
         help="with --trace, additionally capture tracemalloc peak memory per span",
@@ -225,20 +231,37 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     config = DEFAULT if args.paper else FAST
+    failures: list[tuple[str, BaseException]] = []
     for name, module in selected:
-        if args.trace:
-            from repro.experiments.harness import run_traced
+        try:
+            if args.trace:
+                from repro.experiments.harness import run_traced
 
-            result, manifest_path, session = run_traced(
-                name, module.run, config, trace_memory=args.trace_memory
-            )
-            print(result.to_csv() if args.csv else result.render())
-            print("-- telemetry spans --")
-            print(session.render_spans())
-            print(f"-- run manifest: {manifest_path}")
-        else:
-            result = module.run(config)
-            print(result.to_csv() if args.csv else result.render())
+                result, manifest_path, session = run_traced(
+                    name, module.run, config, trace_memory=args.trace_memory
+                )
+                print(result.to_csv() if args.csv else result.render())
+                print("-- telemetry spans --")
+                print(session.render_spans())
+                print(f"-- run manifest: {manifest_path}")
+            else:
+                result = module.run(config)
+                print(result.to_csv() if args.csv else result.render())
+        except Exception as exc:
+            # --keep-going collects per-experiment failures (the CLI
+            # face of run_cells(keep_going=True)); without it the
+            # first failure propagates as before.
+            if not args.keep_going:
+                raise
+            failures.append((name, exc))
+            print(f"error: {name} failed: {type(exc).__name__}: {exc}", file=sys.stderr)
+    if failures:
+        names = ", ".join(name for name, _ in failures)
+        print(
+            f"{len(failures)} of {len(selected)} experiments failed: {names}",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

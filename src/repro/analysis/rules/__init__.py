@@ -12,6 +12,7 @@ from repro.analysis.rules.conformance import EstimatorConformanceRule
 from repro.analysis.rules.frozen import FrozenAfterBuildRule
 from repro.analysis.rules.numeric_safety import NumericSafetyRule
 from repro.analysis.rules.seeded_rng import SeededRngRule
+from repro.analysis.rules.serving_errors import ServingErrorsRule
 from repro.analysis.rules.telemetry_names import TelemetryNamingRule
 from repro.analysis.rules.thread_safety import ThreadSafetyRule
 
@@ -22,6 +23,7 @@ ALL_RULES: tuple[Rule, ...] = (
     TelemetryNamingRule(),
     NumericSafetyRule(),
     ThreadSafetyRule(),
+    ServingErrorsRule(),
 )
 
 RULES_BY_NAME: dict[str, Rule] = {rule.name: rule for rule in ALL_RULES}
@@ -33,6 +35,7 @@ __all__ = [
     "FrozenAfterBuildRule",
     "NumericSafetyRule",
     "SeededRngRule",
+    "ServingErrorsRule",
     "TelemetryNamingRule",
     "ThreadSafetyRule",
 ]

@@ -1,0 +1,80 @@
+"""Rule ``serving-errors``: no silent swallowing in the serving tier.
+
+The whole point of :mod:`repro.serving` is *typed* failure: every
+fault either surfaces as a :class:`~repro.serving.errors.ServingError`
+subclass or is deliberately converted into a recorded degradation
+step.  An ``except`` that quietly absorbs an exception defeats both —
+the breaker never learns, the metrics never move, and a chaos test
+passes for the wrong reason.
+
+Flagged: any ``except`` handler in a module under ``repro/serving``
+whose body contains no ``raise`` (bare re-raise, a wrapped raise, or
+``raise ... from ...`` all count; ``raise`` statements inside nested
+function/class definitions do not).  Handlers that intentionally
+convert a failure into fallback behavior carry the standard
+suppression pragma with its mandatory reason::
+
+    except Exception as exc:  # repro: allow[serving-errors] — recorded in causes; degrades to the next tier
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleInfo, finding
+from repro.analysis.project import ProjectIndex
+
+#: Path fragment identifying the serving package.
+_SERVING_PARTS = ("repro", "serving")
+
+
+def _in_serving_package(module: ModuleInfo) -> bool:
+    parts = module.path.parts
+    for index in range(len(parts) - 1):
+        if parts[index : index + 2] == _SERVING_PARTS:
+            return True
+    return False
+
+
+def _contains_raise(body: "list[ast.stmt]") -> bool:
+    """Whether any statement (not descending into nested defs) raises."""
+    stack: list[ast.stmt] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue  # a nested def's raise doesn't run in the handler
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                stack.append(child)
+            elif isinstance(child, (ast.ExceptHandler, ast.match_case)):
+                stack.extend(child.body)
+    return False
+
+
+class ServingErrorsRule:
+    name = "serving-errors"
+    description = (
+        "except handlers in repro.serving must re-raise or wrap into "
+        "the typed serving-error hierarchy (or carry a pragma)"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        del project
+        if not _in_serving_package(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if _contains_raise(node.body):
+                continue
+            yield finding(
+                module,
+                node,
+                self.name,
+                "except handler swallows the exception; re-raise, wrap it "
+                "into the ServingError hierarchy, or justify the fallback "
+                "with '# repro: allow[serving-errors] — why'",
+            )

@@ -44,6 +44,9 @@ class LRUCache:
         self._name = name
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = threading.Lock()
+        # In-flight get_or_build builds by key; waiters block on the
+        # event instead of duplicating the build (single-flight).
+        self._building: "dict[Hashable, threading.Event]" = {}
         self._hits = 0
         self._misses = 0
 
@@ -106,12 +109,46 @@ class LRUCache:
                 self._data.popitem(last=False)
 
     def get_or_build(self, key: Hashable, build: Callable[[], Any]) -> Any:
-        """The cached value for ``key``, building and caching on a miss."""
-        value = self.get(key)
-        if value is MISS:
+        """The cached value for ``key``, building and caching on a miss.
+
+        Single-flight: concurrent callers missing on the same key run
+        ``build`` once — the first caller builds while the rest wait on
+        an event and read the cached result.  ``build`` runs *outside*
+        the cache lock (it may be arbitrarily slow — an ANALYZE pass),
+        so other keys stay serviceable throughout.
+
+        A raising builder is contained: the exception propagates to
+        the builder's caller, **no** partial entry is cached, no lock
+        or in-flight marker is left behind, and exactly one waiter is
+        promoted to retry the build (the rest keep waiting on the new
+        attempt).
+        """
+        while True:
+            value = self.get(key)
+            if value is not MISS:
+                return value
+            with self._lock:
+                if key in self._data:
+                    # Filled between the probe and now; re-probe so the
+                    # hit is tallied like any other.
+                    continue
+                waiter = self._building.get(key)
+                if waiter is None:
+                    self._building[key] = threading.Event()
+                    break
+            waiter.wait()
+        try:
             value = build()
             self.put(key, value)
-        return value
+            return value
+        finally:
+            # Runs on success *and* on a raising builder: drop the
+            # in-flight marker and wake waiters, who either hit the
+            # fresh entry or (after a failure) elect a new builder.
+            with self._lock:
+                event = self._building.pop(key, None)
+            if event is not None:
+                event.set()
 
     def evict(self, predicate: Callable[[Hashable], bool]) -> int:
         """Drop every entry whose key satisfies ``predicate``.

@@ -109,6 +109,13 @@ class Catalog:
             Required — ``None`` raises
             :class:`~repro.core.base.MissingSeedError` when the scan
             draws its sample, so every ANALYZE is reproducible.
+
+        The replacement is atomic with respect to concurrent readers:
+        every statistic is built into a staging map first and installed
+        with one reference swap per map at the end, so a reader racing
+        an ANALYZE sees either the old statistics set or the new one —
+        never a half-rebuilt mixture — and a build failure leaves the
+        catalog exactly as it was.
         """
         n = min(self._sample_size, table.row_count)
         seed_key = _seed_cache_key(seed)
@@ -127,8 +134,9 @@ class Catalog:
                 rows = table.sample_rows(n, seed=seed)
             return rows
 
-        self._row_counts[table.name] = table.row_count
         build = FAMILIES[self._family]
+        new_columns: dict[tuple[str, str], SelectivityEstimator] = {}
+        new_joints: dict[tuple[str, str, str], KernelEstimator2D] = {}
         for column in table.column_names:
             statistic = MISS
             key = key_base + ("column", column) if key_base else None
@@ -138,7 +146,7 @@ class Catalog:
                 statistic = build(sampled()[column], table.domain(column))
                 if key is not None:
                     _STATISTICS_CACHE.put(key, statistic)
-            self._column_stats[(table.name, column)] = statistic
+            new_columns[(table.name, column)] = statistic
         for x, y in joint or []:
             statistic = MISS
             key = key_base + ("joint", x, y) if key_base else None
@@ -154,7 +162,22 @@ class Catalog:
                 )
                 if key is not None:
                     _STATISTICS_CACHE.put(key, statistic)
-            self._joint_stats[(table.name, x, y)] = statistic
+            new_joints[(table.name, x, y)] = statistic
+        # Atomic install: replace the table's statistics with one
+        # reference swap per map (reads racing this see old-or-new,
+        # never a mixture; nothing above mutated catalog state, so a
+        # failed build changed nothing).
+        column_stats = {
+            key: value for key, value in self._column_stats.items() if key[0] != table.name
+        }
+        column_stats.update(new_columns)
+        joint_stats = {
+            key: value for key, value in self._joint_stats.items() if key[0] != table.name
+        }
+        joint_stats.update(new_joints)
+        self._column_stats = column_stats
+        self._joint_stats = joint_stats
+        self._row_counts = {**self._row_counts, table.name: table.row_count}
         self._version += 1
         self.staleness.on_analyze(table.name, self._version)
         # Drift baselines come from the sample this ANALYZE actually
@@ -183,11 +206,17 @@ class Catalog:
         ``analyze`` rebuilds from scratch even if the replacement data
         happens to collide on name and sample parameters.
         """
-        self._row_counts.pop(table_name, None)
-        for key in [k for k in self._column_stats if k[0] == table_name]:
-            del self._column_stats[key]
-        for key in [k for k in self._joint_stats if k[0] == table_name]:
-            del self._joint_stats[key]
+        # Same reference-swap discipline as analyze(): concurrent
+        # readers see the table's statistics all present or all gone.
+        self._row_counts = {
+            name: count for name, count in self._row_counts.items() if name != table_name
+        }
+        self._column_stats = {
+            key: value for key, value in self._column_stats.items() if key[0] != table_name
+        }
+        self._joint_stats = {
+            key: value for key, value in self._joint_stats.items() if key[0] != table_name
+        }
         _STATISTICS_CACHE.evict(lambda key: key[0] == table_name)
         self._version += 1
         self.staleness.forget(table_name)

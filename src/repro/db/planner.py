@@ -59,6 +59,15 @@ class Plan:
     provenance: tuple[str, ...] = ()
     timings: tuple[tuple[str, float], ...] = ()
 
+    def with_provenance(self, *notes: str) -> "Plan":
+        """A copy with ``notes`` appended to the provenance trail.
+
+        The serving tier uses this to stamp plans with the tier that
+        produced them and any fallback steps taken on the way — the
+        plan stays immutable, the trail stays append-only.
+        """
+        return dataclasses.replace(self, provenance=self.provenance + tuple(notes))
+
     def explain(self, analyze: bool = False) -> str:
         """EXPLAIN rendering; ``analyze=True`` adds timings + provenance."""
         line = (

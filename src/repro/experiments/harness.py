@@ -155,12 +155,29 @@ def default_worker_count(n_cells: int) -> int:
     return max(1, min(n_cells, os.cpu_count() or 1, 8))
 
 
+class CellError(RuntimeError):
+    """A worker exception wrapped with the failing cell's identity.
+
+    A bare exception out of a thread pool loses which cell died;
+    :func:`run_cells` wraps worker failures in this type so the sweep
+    can be rerun or triaged by cell.  The original exception is
+    chained as ``__cause__`` and kept as :attr:`cause`; :attr:`cell`
+    is the failing cell's label.
+    """
+
+    def __init__(self, cell: str, cause: BaseException) -> None:
+        super().__init__(f"cell {cell!r} failed: {type(cause).__name__}: {cause}")
+        self.cell = cell
+        self.cause = cause
+
+
 def run_cells(
     cells: "typing.Sequence[typing.Any]",
     evaluate: "typing.Callable[[typing.Any], typing.Any]",
     *,
     max_workers: "int | None" = None,
     label: "typing.Callable[[typing.Any], str]" = str,
+    keep_going: bool = False,
 ) -> list:
     """Evaluate independent experiment cells, in parallel when possible.
 
@@ -171,6 +188,13 @@ def run_cells(
     the per-dataset ``sample_seed`` / ``query_seed`` scheme, so the
     schedule cannot change any number.
 
+    A worker exception surfaces as :class:`CellError` naming the
+    failing cell (counted as ``harness.cell.error``).  By default the
+    first failure propagates; with ``keep_going=True`` every cell runs
+    to completion and failed cells yield their :class:`CellError` *in
+    place* in the result list, so a long sweep reports all casualties
+    in one pass instead of dying on the first.
+
     Each cell runs inside a ``harness.cell`` span tagged with its
     label, counts one ``harness.cell`` metric, and records its
     wall-clock as ``harness.cell.seconds.<label>`` — the per-cell
@@ -180,8 +204,16 @@ def run_cells(
 
     def run_one(cell: typing.Any) -> typing.Any:
         tag = label(cell)
-        with telemetry.span("harness.cell", cell=tag) as record:
-            result = evaluate(cell)
+        try:
+            with telemetry.span("harness.cell", cell=tag) as record:
+                result = evaluate(cell)
+        except Exception as exc:
+            if telemetry.enabled:
+                telemetry.metrics.inc("harness.cell.error")
+            error = CellError(tag, exc)
+            if keep_going:
+                return error
+            raise error from exc
         if telemetry.enabled:
             telemetry.metrics.inc("harness.cell")
             telemetry.metrics.observe(f"harness.cell.seconds.{tag}", record.duration)

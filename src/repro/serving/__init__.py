@@ -1,0 +1,71 @@
+"""The fault-tolerant serving tier (see docs/SERVING.md).
+
+Public surface:
+
+* :class:`EstimationService` / :class:`ServiceConfig` /
+  :class:`EstimateResult` — the service itself.
+* The typed error hierarchy (:class:`ServingError` and friends).
+* The building blocks, usable on their own: circuit breakers
+  (:class:`CircuitBreaker`, :class:`BreakerBoard`), retry policies
+  (:class:`RetryPolicy`), versioned snapshots (:class:`SnapshotStore`)
+  and deterministic fault injection (:class:`FaultInjector`,
+  :class:`FaultRule`).
+"""
+
+from __future__ import annotations
+
+from repro.serving.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    BreakerConfig,
+    CircuitBreaker,
+)
+from repro.serving.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    EstimatorUnavailable,
+    InjectedFault,
+    Overloaded,
+    PoisonedResult,
+    ServingError,
+    TransientServingError,
+    is_transient,
+)
+from repro.serving.faults import FaultInjector, FaultRule
+from repro.serving.retry import RetryPolicy
+from repro.serving.service import (
+    DEFAULT_FAMILIES,
+    EstimateResult,
+    EstimationService,
+    ServiceConfig,
+)
+from repro.serving.snapshot import Snapshot, SnapshotStore
+
+__all__ = [
+    "BreakerBoard",
+    "BreakerConfig",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "CLOSED",
+    "DEFAULT_FAMILIES",
+    "DeadlineExceeded",
+    "EstimateResult",
+    "EstimationService",
+    "EstimatorUnavailable",
+    "FaultInjector",
+    "FaultRule",
+    "HALF_OPEN",
+    "InjectedFault",
+    "OPEN",
+    "Overloaded",
+    "PoisonedResult",
+    "RetryPolicy",
+    "ServiceConfig",
+    "ServingError",
+    "Snapshot",
+    "SnapshotStore",
+    "TransientServingError",
+    "is_transient",
+]

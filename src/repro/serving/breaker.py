@@ -1,0 +1,218 @@
+"""Per-(table, tier) circuit breakers driven by failure-rate windows.
+
+The classic three-state machine:
+
+``closed``
+    Calls flow; outcomes land in a sliding window of the last
+    ``window`` results.  When the window holds at least
+    ``min_samples`` outcomes and the failure fraction reaches
+    ``failure_threshold``, the breaker *opens*.
+``open``
+    Calls are refused (:meth:`CircuitBreaker.allow` returns ``False``)
+    until ``cooldown_s`` has elapsed on the injected clock — under
+    fault-injected clock skew, cooldowns expire deterministically.
+``half-open``
+    After the cooldown, up to ``half_open_probes`` trial calls are
+    admitted.  Any probe failure reopens the breaker (and restarts the
+    cooldown); once all probes succeed the breaker closes with a fresh
+    window.
+
+A breaker guards one (table, estimator-tier) pair: the hybrid tier of
+one table can be open while its histogram tier — and every other
+table — keeps serving.  :class:`BreakerBoard` is the keyed collection
+the service consults; state changes surface as
+``serving.breaker.state.<table>.<tier>`` gauges (0 closed, 1 open,
+2 half-open) and ``serving.breaker.open.<table>.<tier>`` counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.core.base import InvalidQueryError
+from repro.telemetry import get_telemetry
+
+#: State names, in gauge-value order.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+_STATE_GAUGE = {CLOSED: 0.0, OPEN: 1.0, HALF_OPEN: 2.0}
+
+
+@dataclasses.dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for one breaker (shared by a board's breakers)."""
+
+    window: int = 8
+    failure_threshold: float = 0.5
+    min_samples: int = 4
+    cooldown_s: float = 1.0
+    half_open_probes: int = 2
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.min_samples < 1 or self.half_open_probes < 1:
+            raise InvalidQueryError(
+                "window, min_samples and half_open_probes must all be >= 1"
+            )
+        if self.min_samples > self.window:
+            raise InvalidQueryError(
+                f"min_samples ({self.min_samples}) cannot exceed window ({self.window})"
+            )
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise InvalidQueryError(
+                f"failure_threshold must be in (0, 1], got {self.failure_threshold}"
+            )
+        if self.cooldown_s < 0:
+            raise InvalidQueryError(f"cooldown_s must be >= 0, got {self.cooldown_s}")
+
+
+class CircuitBreaker:
+    """One closed → open → half-open state machine.
+
+    Thread-safe; the clock is injectable so tests (and the fault
+    injector's skewed clock) drive cooldowns deterministically.
+    """
+
+    def __init__(
+        self,
+        config: BreakerConfig = BreakerConfig(),
+        *,
+        clock: Callable[[], float] = time.monotonic,
+        name: str = "",
+    ) -> None:
+        self._config = config
+        self._clock = clock
+        self._name = name
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: "deque[bool]" = deque(maxlen=config.window)
+        self._opened_at = 0.0
+        self._probes_issued = 0
+        self._probes_succeeded = 0
+        self._times_opened = 0
+
+    @property
+    def state(self) -> str:
+        """Current state name (cooldown expiry applies on ``allow``)."""
+        with self._lock:
+            return self._state
+
+    @property
+    def times_opened(self) -> int:
+        """How often the breaker has tripped since construction."""
+        with self._lock:
+            return self._times_opened
+
+    def allow(self) -> bool:
+        """Whether a call may proceed right now.
+
+        An open breaker whose cooldown has elapsed transitions to
+        half-open here and admits the first probe.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at < self._config.cooldown_s:
+                    return False
+                self._to_half_open()
+            # Half-open: admit while probe slots remain.
+            if self._probes_issued < self._config.half_open_probes:
+                self._probes_issued += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """Report a successful call through the breaker."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probes_succeeded += 1
+                if self._probes_succeeded >= self._config.half_open_probes:
+                    self._to_closed()
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        """Report a failed call; may trip the breaker."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # One bad probe is enough evidence the fault persists.
+                self._to_open()
+                return
+            self._outcomes.append(False)
+            if self._state == CLOSED and self._should_trip():
+                self._to_open()
+
+    def _should_trip(self) -> bool:
+        if len(self._outcomes) < self._config.min_samples:
+            return False
+        failures = sum(1 for ok in self._outcomes if not ok)
+        return failures / len(self._outcomes) >= self._config.failure_threshold
+
+    # -- transitions (lock held) --------------------------------------
+
+    def _to_open(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._times_opened += 1
+        self._outcomes.clear()
+        self._publish(opened=True)
+
+    def _to_half_open(self) -> None:
+        self._state = HALF_OPEN
+        self._probes_issued = 0
+        self._probes_succeeded = 0
+        self._publish()
+
+    def _to_closed(self) -> None:
+        self._state = CLOSED
+        self._outcomes.clear()
+        self._publish()
+
+    def _publish(self, opened: bool = False) -> None:
+        telemetry = get_telemetry()
+        if not telemetry.enabled or not self._name:
+            return
+        telemetry.metrics.set_gauge(
+            f"serving.breaker.state.{self._name}", _STATE_GAUGE[self._state]
+        )
+        if opened:
+            telemetry.metrics.inc(f"serving.breaker.open.{self._name}")
+
+
+class BreakerBoard:
+    """Lazily created breakers keyed by (table, tier)."""
+
+    def __init__(
+        self,
+        config: BreakerConfig = BreakerConfig(),
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._config = config
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: dict[tuple[str, str], CircuitBreaker] = {}
+
+    def get(self, table: str, tier: str) -> CircuitBreaker:
+        """The breaker guarding one (table, tier) pair."""
+        key = (table, tier)
+        with self._lock:
+            breaker = self._breakers.get(key)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    self._config, clock=self._clock, name=f"{table}.{tier}"
+                )
+                self._breakers[key] = breaker
+            return breaker
+
+    def states(self) -> dict[tuple[str, str], str]:
+        """Current state of every instantiated breaker."""
+        with self._lock:
+            pairs = list(self._breakers.items())
+        return {key: breaker.state for key, breaker in pairs}

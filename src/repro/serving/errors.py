@@ -1,0 +1,109 @@
+"""The typed error hierarchy of the serving tier.
+
+Every failure the service can hand a caller is a subclass of
+:class:`ServingError`, split along the axis that matters to a client:
+*transient* errors (:class:`TransientServingError`) are worth retrying
+— possibly after the attached ``retry_after`` hint — while permanent
+ones are not.  The static-analysis rule ``serving-errors`` enforces
+that no ``except`` inside :mod:`repro.serving` swallows an exception
+silently: handlers re-raise, wrap into this hierarchy, or carry an
+explicit ``# repro: allow[serving-errors]`` pragma.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import EstimatorError
+
+
+class ServingError(EstimatorError):
+    """Base class for every error raised by the serving tier."""
+
+
+class TransientServingError(ServingError):
+    """A failure that may succeed on retry (overload, injected blip)."""
+
+
+class Overloaded(TransientServingError):
+    """The admission queue is full; try again after ``retry_after_s``.
+
+    Raised instead of blocking without bound: a saturated service
+    sheds load explicitly and tells the caller when capacity is
+    plausible again.
+    """
+
+    def __init__(self, message: str, retry_after_s: float) -> None:
+        super().__init__(message)
+        #: Suggested client back-off before re-submitting, in seconds.
+        self.retry_after_s = float(retry_after_s)
+
+
+class DeadlineExceeded(ServingError):
+    """The request's deadline elapsed before an estimate was produced.
+
+    Not transient from the request's point of view — the answer is
+    already too late — though the *next* request may well succeed.
+    """
+
+    def __init__(self, message: str, deadline_s: float, elapsed_s: float) -> None:
+        super().__init__(message)
+        #: The request's total budget, in seconds.
+        self.deadline_s = float(deadline_s)
+        #: Wall-clock spent when the deadline check fired, in seconds.
+        self.elapsed_s = float(elapsed_s)
+
+
+class CircuitOpen(TransientServingError):
+    """A circuit breaker is refusing calls to one (table, tier) pair."""
+
+    def __init__(self, message: str, table: str, tier: str) -> None:
+        super().__init__(message)
+        self.table = table
+        self.tier = tier
+
+
+class PoisonedResult(TransientServingError):
+    """A cached or computed estimate failed validation (NaN, negative).
+
+    Transient: the poisoned entry is evicted on detection, so the
+    retry recomputes from statistics.
+    """
+
+
+class EstimatorUnavailable(ServingError):
+    """Every tier of the fallback chain failed for this request.
+
+    ``causes`` records one ``(tier, error)`` pair per attempted tier,
+    so the caller (and the chaos suite) can see the whole descent.
+    """
+
+    def __init__(
+        self, message: str, causes: "tuple[tuple[str, BaseException], ...]" = ()
+    ) -> None:
+        super().__init__(message)
+        self.causes = tuple(causes)
+
+
+class InjectedFault(TransientServingError):
+    """An error deliberately raised by the fault-injection layer.
+
+    Carries the injection site so chaos tests can assert exactly which
+    scheduled fault fired; ``transient`` mirrors the rule's flag so
+    the retry classifier can be exercised both ways.
+    """
+
+    def __init__(self, message: str, site: str, transient: bool = True) -> None:
+        super().__init__(message)
+        self.site = site
+        self.transient = bool(transient)
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether ``error`` is worth an in-place retry.
+
+    Transient serving errors retry unless they are injected faults
+    explicitly marked permanent; everything else (validation errors,
+    programming errors) fails fast to the next tier.
+    """
+    if isinstance(error, InjectedFault):
+        return error.transient
+    return isinstance(error, TransientServingError)

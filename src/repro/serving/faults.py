@@ -1,0 +1,204 @@
+"""Deterministic fault injection for the serving tier.
+
+Chaos testing a serving path needs failures that are *scheduled*, not
+sampled: a test must be able to say "the third hybrid estimate throws,
+the fifth stalls 40 ms" and assert the exact breaker transitions that
+follow.  :class:`FaultInjector` therefore triggers on per-site call
+counters — :class:`FaultRule` names an injection *site* (a dotted
+string the service passes to :meth:`FaultInjector.check` at each
+instrumented point) and a counter schedule (``after`` / ``every`` /
+``times``), so the same rule list always produces the same fault
+sequence regardless of thread interleaving or wall-clock.
+
+Four fault kinds cover the serving failure modes:
+
+``latency``
+    Sleep ``latency_s`` at the site (capped at the caller's remaining
+    deadline budget, so an injected stall surfaces as a deadline hit,
+    never as an unbounded hang).
+``error``
+    Raise :class:`~repro.serving.errors.InjectedFault` (transient or
+    permanent per the rule).
+``poison``
+    Tell the call site to corrupt its value (the service's result
+    cache writes a NaN estimate); the detection/recovery path is the
+    thing under test.
+``skew``
+    Step the injector's clock by ``skew_s``.  Components using
+    :meth:`FaultInjector.clock` (deadlines, breaker cooldowns) see the
+    jump; the chaos suite uses it to expire deadlines and cooldowns
+    without real waiting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from typing import Callable
+
+from repro.core.base import InvalidQueryError
+from repro.serving.errors import InjectedFault
+from repro.telemetry import get_telemetry
+
+#: Fault kinds a rule may inject.
+KINDS = frozenset({"latency", "error", "poison", "skew"})
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault at one injection site.
+
+    The rule fires on site calls ``after, after + every, after +
+    2*every, ...`` (0-based per-site call index), at most ``times``
+    times (``None`` = unlimited).  ``site`` may end in ``*`` to match
+    any site with that prefix.
+    """
+
+    site: str
+    kind: str
+    after: int = 0
+    every: int = 1
+    times: "int | None" = None
+    latency_s: float = 0.0
+    skew_s: float = 0.0
+    transient: bool = True
+    message: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise InvalidQueryError(
+                f"unknown fault kind {self.kind!r}; choose from {sorted(KINDS)}"
+            )
+        if not self.site:
+            raise InvalidQueryError("fault site must be a non-empty string")
+        if self.after < 0 or self.every < 1:
+            raise InvalidQueryError(
+                f"fault schedule needs after >= 0 and every >= 1, "
+                f"got after={self.after}, every={self.every}"
+            )
+        if self.times is not None and self.times < 1:
+            raise InvalidQueryError(f"times must be >= 1 or None, got {self.times}")
+        if self.kind == "latency" and self.latency_s <= 0:
+            raise InvalidQueryError("latency faults need latency_s > 0")
+
+    def matches(self, site: str) -> bool:
+        """Whether this rule applies at ``site``."""
+        if self.site.endswith("*"):
+            return site.startswith(self.site[:-1])
+        return site == self.site
+
+    def due(self, call_index: int, fired: int) -> bool:
+        """Whether the rule fires on the ``call_index``-th matching call."""
+        if self.times is not None and fired >= self.times:
+            return False
+        if call_index < self.after:
+            return False
+        return (call_index - self.after) % self.every == 0
+
+
+class FaultInjector:
+    """Applies a rule schedule at named sites; no rules means no-ops.
+
+    Thread-safe: per-site call counters and per-rule fire counts are
+    lock-guarded, so concurrent requests observe a single global call
+    order per site (the order requests reach the site).  Everything
+    else — which call indices fire — is deterministic.
+    """
+
+    def __init__(
+        self,
+        rules: "tuple[FaultRule, ...] | list[FaultRule]" = (),
+        *,
+        base_clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        self._rules = tuple(rules)
+        self._base_clock = base_clock
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._calls: dict[str, int] = {}
+        self._fired: dict[int, int] = {}
+        self._fired_by_site: dict[str, int] = {}
+        self._skew_s = 0.0
+
+    @property
+    def rules(self) -> tuple[FaultRule, ...]:
+        """The installed rule schedule."""
+        return self._rules
+
+    def clock(self) -> float:
+        """Monotonic seconds, plus any injected clock skew."""
+        with self._lock:
+            skew = self._skew_s
+        return self._base_clock() + skew
+
+    def calls(self, site: str) -> int:
+        """How many times ``site`` was checked."""
+        with self._lock:
+            return self._calls.get(site, 0)
+
+    def fired(self, site: str) -> int:
+        """How many faults actually fired at ``site``."""
+        with self._lock:
+            return self._fired_by_site.get(site, 0)
+
+    def check(self, site: str, budget_s: "float | None" = None) -> tuple[str, ...]:
+        """Run the site's due faults; returns the fired kinds in order.
+
+        ``latency`` faults sleep here (capped at ``budget_s`` when
+        given, so a stall cannot overshoot the caller's deadline by
+        more than scheduler noise); ``skew`` steps the injector clock;
+        ``error`` raises :class:`InjectedFault`.  ``poison`` is
+        returned for the call site to act on — only it knows what a
+        corrupted value looks like.
+        """
+        if not self._rules:
+            return ()
+        to_raise: "InjectedFault | None" = None
+        actions: list[str] = []
+        sleep_s = 0.0
+        with self._lock:
+            index = self._calls.get(site, 0)
+            self._calls[site] = index + 1
+            for position, rule in enumerate(self._rules):
+                if not rule.matches(site):
+                    continue
+                fired = self._fired.get(position, 0)
+                if not rule.due(index, fired):
+                    continue
+                self._fired[position] = fired + 1
+                self._fired_by_site[site] = self._fired_by_site.get(site, 0) + 1
+                actions.append(rule.kind)
+                if rule.kind == "latency":
+                    sleep_s += rule.latency_s
+                elif rule.kind == "skew":
+                    self._skew_s += rule.skew_s
+                elif rule.kind == "error" and to_raise is None:
+                    to_raise = InjectedFault(
+                        rule.message or f"injected fault at {site}",
+                        site=site,
+                        transient=rule.transient,
+                    )
+        if actions:
+            self._record(site, actions)
+        if sleep_s > 0.0:
+            if budget_s is not None:
+                sleep_s = min(sleep_s, max(budget_s, 0.0))
+            if sleep_s > 0.0:
+                self._sleep(sleep_s)
+        if to_raise is not None:
+            raise to_raise
+        return tuple(actions)
+
+    def _record(self, site: str, actions: "list[str]") -> None:
+        telemetry = get_telemetry()
+        if not telemetry.enabled:
+            return
+        for kind in actions:
+            telemetry.metrics.inc("serving.fault")
+            telemetry.metrics.inc(f"serving.fault.{kind}")
+
+
+#: Shared no-op injector for services built without fault injection.
+NO_FAULTS = FaultInjector()

@@ -1,0 +1,56 @@
+"""Retry policy: jittered exponential backoff under a deadline.
+
+Transient failures (overload blips, injected faults marked transient)
+deserve another try; everything else fails fast.  The backoff is the
+standard exponential ladder ``base * multiplier**attempt`` capped at
+``max_delay_s``, with multiplicative jitter drawn from a seeded
+``numpy`` generator — the project's seeding rules apply to the serving
+tier too, so two services built with the same seed retry on identical
+schedules (what the chaos suite's determinism assertions rely on).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.base import InvalidQueryError
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Backoff shape for transient-failure retries.
+
+    ``max_attempts`` counts total tries (1 = no retries).  ``jitter``
+    is the half-width of the multiplicative noise: a delay is scaled
+    by a uniform draw from ``[1 - jitter, 1 + jitter]``.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.005
+    multiplier: float = 2.0
+    max_delay_s: float = 0.25
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise InvalidQueryError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise InvalidQueryError("retry delays must be >= 0")
+        if self.multiplier < 1.0:
+            raise InvalidQueryError(f"multiplier must be >= 1, got {self.multiplier}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise InvalidQueryError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay_s(self, attempt: int, rng: np.random.Generator) -> float:
+        """Jittered sleep before retry number ``attempt`` (0-based).
+
+        Consumes exactly one draw from ``rng`` so retry schedules are
+        reproducible from the service seed.
+        """
+        if attempt < 0:
+            raise InvalidQueryError(f"attempt must be >= 0, got {attempt}")
+        raw = min(self.base_delay_s * self.multiplier**attempt, self.max_delay_s)
+        scale = 1.0 + self.jitter * float(rng.uniform(-1.0, 1.0))
+        return raw * scale

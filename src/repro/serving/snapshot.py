@@ -1,0 +1,121 @@
+"""Versioned snapshots with publish-then-retire semantics.
+
+The serving tier must keep answering while ANALYZE rebuilds
+statistics.  The classic solution: readers *pin* an immutable,
+versioned snapshot of the estimator sets; a writer builds the
+replacement off to the side, *publishes* it with one atomic reference
+swap, and the superseded snapshot is *retired* — kept alive only until
+its last pinned reader releases it.  No reader ever blocks on a
+rebuild, and no reader ever observes a half-built estimator set.
+
+:class:`SnapshotStore` is deliberately generic (the payload is opaque
+and must be treated as immutable); the service stores a
+``{table name: tier tuple}`` mapping per snapshot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.core.base import InvalidQueryError
+from repro.telemetry import get_telemetry
+
+
+@dataclasses.dataclass(frozen=True)
+class Snapshot:
+    """One published, immutable version of the serving state."""
+
+    version: int
+    payload: Any
+
+
+class SnapshotStore:
+    """Atomic publish / pinned read of versioned snapshots.
+
+    ``pin()`` hands a reader the current snapshot and guarantees it
+    stays tracked until the reader releases it; ``publish()`` swaps in
+    a new version without waiting for readers.  ``retired()`` lists
+    superseded versions still held by at least one reader — the
+    writer-side observability hook (and the leak detector in tests).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._current: "Snapshot | None" = None
+        self._pins: dict[int, int] = {}
+        self._retired: dict[int, Snapshot] = {}
+
+    @property
+    def version(self) -> int:
+        """Version of the current snapshot (0 before the first publish)."""
+        with self._lock:
+            return 0 if self._current is None else self._current.version
+
+    def current(self) -> Snapshot:
+        """The current snapshot (unpinned peek).
+
+        Raises
+        ------
+        InvalidQueryError
+            If nothing has been published yet.
+        """
+        with self._lock:
+            if self._current is None:
+                raise InvalidQueryError("no snapshot published yet")
+            return self._current
+
+    def publish(self, payload: Any) -> Snapshot:
+        """Swap in a new snapshot; the old one retires.
+
+        The swap is a single reference assignment under the store lock
+        — readers pin either the old or the new version, never a
+        mixture.  Returns the published snapshot.
+        """
+        with self._lock:
+            version = 1 if self._current is None else self._current.version + 1
+            snapshot = Snapshot(version=version, payload=payload)
+            previous = self._current
+            self._current = snapshot
+            if previous is not None and self._pins.get(previous.version, 0) > 0:
+                self._retired[previous.version] = previous
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.inc("serving.snapshot.publish")
+            telemetry.metrics.set_gauge("serving.snapshot.version", float(version))
+        return snapshot
+
+    @contextmanager
+    def pin(self) -> Iterator[Snapshot]:
+        """Pin the current snapshot for the duration of the block.
+
+        The pinned version survives any number of concurrent publishes
+        and is only forgotten once every pinning reader exits.
+        """
+        with self._lock:
+            if self._current is None:
+                raise InvalidQueryError("no snapshot published yet")
+            snapshot = self._current
+            self._pins[snapshot.version] = self._pins.get(snapshot.version, 0) + 1
+        try:
+            yield snapshot
+        finally:
+            with self._lock:
+                remaining = self._pins.get(snapshot.version, 0) - 1
+                if remaining <= 0:
+                    self._pins.pop(snapshot.version, None)
+                    self._retired.pop(snapshot.version, None)
+                else:
+                    self._pins[snapshot.version] = remaining
+
+    def retired(self) -> tuple[int, ...]:
+        """Versions superseded but still pinned by at least one reader."""
+        with self._lock:
+            return tuple(sorted(self._retired))
+
+    def pinned(self) -> dict[int, int]:
+        """Active pin counts by version (current and retired)."""
+        with self._lock:
+            return dict(self._pins)

@@ -64,11 +64,13 @@ from repro.telemetry.drift import (
 )
 from repro.telemetry.slo import (
     DEFAULT_SLOS,
+    SERVING_SLOS,
     SLOResult,
     SLOSpec,
     evaluate_bench,
     evaluate_registry,
     evaluate_snapshot,
+    max_burn,
     render_report,
 )
 from repro.telemetry.export import (
@@ -92,6 +94,7 @@ __all__ = [
     "QualityTracker",
     "QuantileSketch",
     "ReservoirSample",
+    "SERVING_SLOS",
     "SLOResult",
     "SLOSpec",
     "SpanRecord",
@@ -108,6 +111,7 @@ __all__ = [
     "get_telemetry",
     "iter_events",
     "ks_distance",
+    "max_burn",
     "load_manifests",
     "manifest_dir",
     "parse_exposition",

@@ -186,6 +186,19 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[name] = float(value)
 
+    def add_gauge(self, name: str, delta: float) -> float:
+        """Adjust gauge ``name`` by ``delta`` atomically; returns the level.
+
+        The read-modify-write happens under the registry lock, so
+        concurrent adjusters (e.g. in-flight request tracking in the
+        serving tier) cannot lose updates the way a ``gauge`` +
+        ``set_gauge`` pair would.  An unset gauge starts from 0.
+        """
+        with self._lock:
+            level = self._gauges.get(name, 0.0) + float(delta)
+            self._gauges[name] = level
+            return level
+
     def observe(self, name: str, value: float) -> None:
         """Append one observation to the value series ``name``."""
         with self._lock:

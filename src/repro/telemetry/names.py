@@ -41,8 +41,25 @@ REGISTERED_NAMES: frozenset[str] = frozenset(
         # -- experiment harness (repro.experiments.harness) -----------
         "harness.experiment",
         "harness.cell",
+        "harness.cell.error",
         "harness.load_context",
         "harness.context.load",
+        # -- serving tier (repro.serving) ------------------------------
+        "serving.request",
+        "serving.request.seconds",
+        "serving.wait.seconds",
+        "serving.rejected",
+        "serving.retry",
+        "serving.shed",
+        "serving.poisoned",
+        "serving.degraded",
+        "serving.unavailable",
+        "serving.deadline.exceeded",
+        "serving.queue.depth",
+        "serving.inflight",
+        "serving.fault",
+        "serving.snapshot.publish",
+        "serving.snapshot.version",
         # -- online aggregation (repro.online.aggregator) -------------
         "online.batch",
         "online.records",
@@ -88,6 +105,14 @@ REGISTERED_PREFIXES: frozenset[str] = frozenset(
         "drift.feedback.shift",
         # per-spec SLO burn gauges (repro.telemetry.slo)
         "slo.burn",
+        # serving tier (repro.serving): per-table degradation tallies,
+        # per-(table, tier) breaker gauges/counters, per-kind injected
+        # faults, per-family served-tier tallies
+        "serving.degraded",
+        "serving.breaker.state",
+        "serving.breaker.open",
+        "serving.fault",
+        "serving.tier",
         # every span auto-mirrors into a ``span.<name>`` series
         # (repro.telemetry.runtime)
         "span",

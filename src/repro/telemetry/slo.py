@@ -330,3 +330,41 @@ DEFAULT_SLOS: tuple[SLOSpec, ...] = (
         description="harness context cache serves >=30% of lookups under load",
     ),
 )
+
+
+#: Objectives the serving tier watches for burn-driven shedding (see
+#: repro.serving.service): when the burn of any of these reaches the
+#: service's ``shed_burn_threshold``, the primary tier is preemptively
+#: shed and requests serve from the cheaper histogram/uniform tiers
+#: until the burn recovers.  Thresholds are request-latency budgets,
+#: not bench ceilings — they read the service's own live registry.
+SERVING_SLOS: tuple[SLOSpec, ...] = (
+    SLOSpec(
+        name="serving-p99-latency",
+        kind="quantile",
+        metric="serving.request.seconds",
+        objective="p99",
+        threshold=0.05,
+        min_count=20,
+        description="99th-percentile served-request latency stays under 50 ms",
+    ),
+    SLOSpec(
+        name="serving-p90-queue-wait",
+        kind="quantile",
+        metric="serving.wait.seconds",
+        objective="p90",
+        threshold=0.02,
+        min_count=20,
+        description="90th-percentile admission-queue wait stays under 20 ms",
+    ),
+)
+
+
+def max_burn(results: Sequence[SLOResult]) -> float:
+    """The largest burn ratio across evaluated results (0.0 if none).
+
+    The scalar a shedding decision needs: "how close is the worst
+    objective to exhaustion".
+    """
+    burns = [result.burn for result in results if result.burn is not None]
+    return max(burns) if burns else 0.0

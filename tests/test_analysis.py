@@ -271,6 +271,79 @@ class TestThreadSafety:
         assert findings == []
 
 
+class TestServingErrors:
+    SERVING_PATH = "src/repro/serving/service.py"
+
+    def test_swallowing_handler_flagged(self):
+        findings = analyze_source(
+            "try:\n    x = 1\nexcept Exception:\n    pass\n",
+            path=self.SERVING_PATH,
+            rules=["serving-errors"],
+        )
+        assert rule_names(findings) == ["serving-errors"]
+        assert findings[0].line == 3  # anchored at the except handler
+
+    def test_reraise_clean(self):
+        findings = analyze_source(
+            "try:\n    x = 1\nexcept ValueError:\n    raise\n",
+            path=self.SERVING_PATH,
+            rules=["serving-errors"],
+        )
+        assert findings == []
+
+    def test_wrapping_raise_clean(self):
+        findings = analyze_source(
+            "try:\n    x = 1\n"
+            "except ValueError as exc:\n"
+            "    raise RuntimeError('wrapped') from exc\n",
+            path=self.SERVING_PATH,
+            rules=["serving-errors"],
+        )
+        assert findings == []
+
+    def test_conditional_raise_counts(self):
+        findings = analyze_source(
+            "try:\n    x = 1\n"
+            "except ValueError as exc:\n"
+            "    if x:\n"
+            "        raise\n"
+            "    y = 2\n",
+            path=self.SERVING_PATH,
+            rules=["serving-errors"],
+        )
+        assert findings == []
+
+    def test_raise_in_nested_def_does_not_count(self):
+        findings = analyze_source(
+            "try:\n    x = 1\n"
+            "except ValueError:\n"
+            "    def later():\n"
+            "        raise RuntimeError('not in the handler')\n",
+            path=self.SERVING_PATH,
+            rules=["serving-errors"],
+        )
+        assert rule_names(findings) == ["serving-errors"]
+
+    def test_pragma_with_reason_suppresses(self):
+        findings = analyze_source(
+            "try:\n    x = 1\n"
+            "except Exception:  "
+            "# repro: allow[serving-errors] — degrades to the next tier\n"
+            "    x = 2\n",
+            path=self.SERVING_PATH,
+            rules=["serving-errors"],
+        )
+        assert findings == []
+
+    def test_outside_serving_package_ignored(self):
+        findings = analyze_source(
+            "try:\n    x = 1\nexcept Exception:\n    pass\n",
+            path="src/repro/db/catalog.py",
+            rules=["serving-errors"],
+        )
+        assert findings == []
+
+
 class TestPragmas:
     def test_line_pragma_suppresses(self):
         findings = analyze_source(

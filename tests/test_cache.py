@@ -62,6 +62,60 @@ class TestLRUCache:
         assert cache.get_or_build("k", build) == "value"
         assert len(calls) == 1
 
+    def test_raising_builder_caches_nothing_and_allows_retry(self):
+        # Regression: a builder that raises must not leave a partial
+        # entry, a held lock, or a stale single-flight marker behind —
+        # the very next get_or_build on the same key must run its
+        # builder and succeed.
+        cache = LRUCache(capacity=4, name="t")
+
+        def boom():
+            raise RuntimeError("builder failed")
+
+        with pytest.raises(RuntimeError, match="builder failed"):
+            cache.get_or_build("k", boom)
+        assert len(cache) == 0
+        assert cache.get("k") is MISS
+        assert cache._building == {}
+        # The lock is free and the key is rebuildable.
+        assert cache.get_or_build("k", lambda: "recovered") == "recovered"
+        assert cache.get("k") == "recovered"
+
+    def test_get_or_build_is_single_flight_across_threads(self):
+        import threading
+
+        cache = LRUCache(capacity=4, name="t")
+        release = threading.Event()
+        calls = []
+        lock = threading.Lock()
+
+        def slow_build():
+            with lock:
+                calls.append(1)
+            release.wait(timeout=5.0)
+            return "built"
+
+        results = [None] * 4
+
+        def worker(i):
+            results[i] = cache.get_or_build("k", slow_build)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        # Let the winner enter the builder, then let every waiter pile
+        # up behind the single-flight event before releasing.
+        deadline = 50
+        while not calls and deadline:
+            deadline -= 1
+            release.wait(0.01)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert results == ["built"] * 4
+        assert len(calls) == 1
+        assert cache._building == {}
+
     def test_evict_by_predicate(self):
         cache = LRUCache(capacity=8, name="t")
         for key in (("a", 1), ("a", 2), ("b", 1)):

@@ -127,3 +127,64 @@ class TestFactoriesProduceReasonableEstimates:
         for est in built:
             value = est.selectivity(20.0, 40.0)
             assert value == pytest.approx(0.2, abs=0.08), type(est).__name__
+
+
+#: One builder per facade family, small parameters so the whole
+#: malformed-batch matrix below stays fast.
+_BATCH_FAMILIES = {
+    "sampling": lambda sample, domain: estimators.sampling(sample, domain),
+    "uniform": lambda sample, domain: estimators.uniform(domain),
+    "equi-width": lambda sample, domain: estimators.equi_width(sample, domain, bins=8),
+    "equi-depth": lambda sample, domain: estimators.equi_depth(sample, domain, bins=8),
+    "max-diff": lambda sample, domain: estimators.max_diff(sample, domain, bins=8),
+    "ash": lambda sample, domain: estimators.ash(sample, domain, bins=8, shifts=4),
+    "kernel": lambda sample, domain: estimators.kernel(sample, domain),
+    "hybrid": lambda sample, domain: estimators.hybrid(sample, domain),
+    "v-optimal": lambda sample, domain: estimators.v_optimal(sample, domain, bins=8),
+    "wavelet": lambda sample, domain: estimators.wavelet(sample, domain, coefficients=8),
+    "end-biased": lambda sample, domain: estimators.end_biased(sample, domain, top=8),
+}
+
+#: Malformed endpoint batches every estimator must reject up front.
+_BAD_BATCHES = {
+    "nan-low": (np.array([10.0, np.nan]), np.array([20.0, 30.0])),
+    "inf-high": (np.array([10.0, 20.0]), np.array([np.inf, 30.0])),
+    "reversed": (np.array([10.0, 50.0]), np.array([20.0, 40.0])),
+    "shape-mismatch": (np.array([10.0, 20.0]), np.array([30.0])),
+}
+
+
+class TestBatchValidationAcrossFacade:
+    """`selectivities` rejects malformed batches identically everywhere.
+
+    The serving tier (docs/SERVING.md) relies on this: an
+    InvalidQueryError is a *caller* error, re-raised without charging
+    circuit breakers, so every estimator family must classify the same
+    malformed input the same way — before any evaluation work.
+    """
+
+    @pytest.fixture(scope="class")
+    def built(self):
+        domain = Interval(0.0, 100.0)
+        sample = np.random.default_rng(0).uniform(0.0, 100.0, 600)
+        return {
+            name: make(sample, domain) for name, make in _BATCH_FAMILIES.items()
+        }
+
+    @pytest.mark.parametrize("case", sorted(_BAD_BATCHES))
+    @pytest.mark.parametrize("family", sorted(_BATCH_FAMILIES))
+    def test_selectivities_rejects_malformed_batch(self, built, family, case):
+        from repro.core.base import InvalidQueryError
+
+        a, b = _BAD_BATCHES[case]
+        with pytest.raises(InvalidQueryError):
+            built[family].selectivities(a, b)
+
+    @pytest.mark.parametrize("family", sorted(_BATCH_FAMILIES))
+    def test_selectivities_accepts_well_formed_batch(self, built, family):
+        a = np.array([10.0, 30.0, 0.0])
+        b = np.array([20.0, 60.0, 100.0])
+        values = built[family].selectivities(a, b)
+        assert values.shape == a.shape
+        assert np.all(np.isfinite(values))
+        assert np.all((values >= 0.0) & (values <= 1.0))

@@ -246,3 +246,45 @@ class TestRunCells:
 
         with pytest.raises(RuntimeError, match="cell 1 failed"):
             harness.run_cells([0, 1, 2], boom, max_workers=2)
+
+    def test_exception_wrapped_with_cell_identity(self):
+        cause = ValueError("bad bandwidth")
+
+        def boom(cell):
+            if cell == ("iw", "kernel"):
+                raise cause
+            return cell
+
+        cells = [("u(20)", "kernel"), ("iw", "kernel")]
+        with pytest.raises(harness.CellError) as excinfo:
+            harness.run_cells(cells, boom, max_workers=1, label=lambda c: f"{c[0]}/{c[1]}")
+        error = excinfo.value
+        assert error.cell == "iw/kernel"
+        assert error.cause is cause
+        assert error.__cause__ is cause
+        assert "ValueError" in str(error) and "bad bandwidth" in str(error)
+
+    def test_keep_going_returns_errors_in_place(self):
+        def boom(cell):
+            if cell % 2:
+                raise RuntimeError(f"cell {cell} failed")
+            return cell * 10
+
+        results = harness.run_cells(
+            list(range(5)), boom, max_workers=2, keep_going=True
+        )
+        assert [results[i] for i in (0, 2, 4)] == [0, 20, 40]
+        for i in (1, 3):
+            assert isinstance(results[i], harness.CellError)
+            assert results[i].cell == str(i)
+
+    def test_cell_errors_counted(self):
+        from repro import telemetry
+
+        def boom(cell):
+            raise RuntimeError("nope")
+
+        with telemetry.session() as session:
+            results = harness.run_cells([0, 1], boom, max_workers=1, keep_going=True)
+            assert all(isinstance(r, harness.CellError) for r in results)
+            assert session.metrics.counter("harness.cell.error") == 2

@@ -16,9 +16,15 @@ Usage::
 
 Only entries present in *both* files are compared (partial benchmark
 runs leave the untouched groups alone); per-entry comparison uses
-``median_s`` and falls back to ``mean_s`` for single-round timings.
-Entries whose name ends in ``_x`` are ratios (higher is better), not
-timings, and are skipped.
+``median_s`` and falls back to ``mean_s`` for single-round timings,
+or to ``value`` for dimensioned entries.  The comparison is
+*direction-aware*: the entry's ``kind`` (see ``repro.telemetry.bench``)
+says whether bigger numbers are worse (``timing``) or better
+(``ratio``/``rate``); legacy entries without a ``kind`` infer one from
+the ``_x`` name suffix.  Entries measured with fewer than
+:data:`MIN_STABLE_ROUNDS` rounds on either side carry single-shot
+wall-clock noise, so they are held to the (wider) ``--noisy-threshold``
+instead of being compared as if they were stable medians.
 
 ``--overhead BASE:LOADED`` additionally compares two entries *within
 the current file* — e.g. the telemetry-disabled vs telemetry-enabled
@@ -52,11 +58,28 @@ import sys
 #: Largest tolerated current/baseline ratio before the gate fails.
 DEFAULT_THRESHOLD = 1.25
 
+#: Tolerated ratio for noisy (low-round) entries: a single wall-clock
+#: round jitters far beyond the 25% band on a shared CI runner, so
+#: holding ``rounds: 1`` entries to the stable-median threshold gates
+#: on scheduler noise, not code.
+DEFAULT_NOISY_THRESHOLD = 2.0
+
+#: Fewest rounds (on both sides) for an entry to be compared at the
+#: stable threshold; below this the --noisy-threshold applies.
+MIN_STABLE_ROUNDS = 5
+
 #: Largest tolerated loaded/base ratio for ``--overhead`` pairs.
 DEFAULT_MAX_OVERHEAD = 1.05
 
 #: Schema identifier the gate insists on (see repro.telemetry.bench).
 BENCH_SCHEMA = "repro.telemetry.bench/v1"
+
+#: Entry kinds where a larger number is the better one (mirrors
+#: ``repro.telemetry.bench.HIGHER_IS_BETTER_KINDS`` — the gate stays
+#: import-free so it runs without PYTHONPATH).
+_HIGHER_IS_BETTER = frozenset({"ratio", "rate"})
+
+_KNOWN_KINDS = frozenset({"timing", "ratio", "rate"})
 
 
 def load_benchmarks(path: pathlib.Path) -> dict[str, dict[str, float]]:
@@ -65,6 +88,27 @@ def load_benchmarks(path: pathlib.Path) -> dict[str, dict[str, float]]:
     if not isinstance(payload, dict) or payload.get("schema") != BENCH_SCHEMA:
         raise SystemExit(f"{path}: not a {BENCH_SCHEMA!r} export")
     return payload.get("benchmarks", {})
+
+
+def entry_kind(name: str, entry: dict[str, float]) -> str:
+    """Explicit ``kind`` field, else inferred from the ``_x`` suffix."""
+    kind = entry.get("kind")
+    if isinstance(kind, str) and kind in _KNOWN_KINDS:
+        return kind
+    return "ratio" if name.endswith("_x") else "timing"
+
+
+def entry_direction(name: str, entry: dict[str, float]) -> str:
+    """``"higher"`` or ``"lower"``: which way is better for the entry.
+
+    An explicit ``better`` field wins (e.g. the telemetry-overhead
+    ratio regresses upward); otherwise the kind decides.
+    """
+    better = entry.get("better")
+    if better in ("higher", "lower"):
+        return str(better)
+    kind = entry_kind(name, entry)
+    return "higher" if kind in _HIGHER_IS_BETTER else "lower"
 
 
 def representative_seconds(entry: dict[str, float]) -> float | None:
@@ -76,29 +120,63 @@ def representative_seconds(entry: dict[str, float]) -> float | None:
     return None
 
 
+def representative_value(entry: dict[str, float], kind: str) -> float | None:
+    """The comparable number of one entry, per its kind.
+
+    Timings read ``median_s``/``mean_s``; dimensioned entries read
+    ``value``, falling back to the legacy mislabeled ``mean_s`` slot so
+    a pre-migration baseline still compares against a new export.
+    """
+    if kind != "timing":
+        value = entry.get("value")
+        if isinstance(value, (int, float)) and value > 0:
+            return float(value)
+    return representative_seconds(entry)
+
+
+def entry_rounds(entry: dict[str, float]) -> int:
+    rounds = entry.get("rounds")
+    return int(rounds) if isinstance(rounds, (int, float)) and rounds > 0 else 1
+
+
 def compare(
     baseline: dict[str, dict[str, float]],
     current: dict[str, dict[str, float]],
     prefixes: tuple[str, ...],
     threshold: float,
+    noisy_threshold: float = DEFAULT_NOISY_THRESHOLD,
 ) -> list[tuple[str, float, float, float]]:
-    """Regressions as ``(name, baseline_s, current_s, ratio)`` rows."""
+    """Regressions as ``(name, baseline, current, badness_ratio)`` rows.
+
+    ``badness_ratio`` is oriented so that > 1 always means "worse":
+    current/baseline for timings, baseline/current for ratio and rate
+    entries (where shrinking is the regression).
+    """
     regressions = []
     for name in sorted(baseline):
         if prefixes and not any(name.startswith(p) for p in prefixes):
             continue
-        if name.endswith("_x") or name not in current:
+        if name not in current:
             continue
-        before = representative_seconds(baseline[name])
-        after = representative_seconds(current[name])
+        kind = entry_kind(name, current[name])
+        direction = entry_direction(name, current[name])
+        before = representative_value(baseline[name], entry_kind(name, baseline[name]))
+        after = representative_value(current[name], kind)
         if before is None or after is None:
             continue
-        ratio = after / before
-        marker = "REGRESSED" if ratio > threshold else "ok"
-        print(f"  {name}: {before * 1e3:.3f} ms -> {after * 1e3:.3f} ms "
-              f"({ratio:.2f}x) {marker}")
-        if ratio > threshold:
-            regressions.append((name, before, after, ratio))
+        badness = before / after if direction == "higher" else after / before
+        noisy = min(entry_rounds(baseline[name]), entry_rounds(current[name]))
+        limit = noisy_threshold if noisy < MIN_STABLE_ROUNDS else threshold
+        marker = "REGRESSED" if badness > limit else "ok"
+        if noisy < MIN_STABLE_ROUNDS:
+            marker += " (noisy: low rounds)"
+        if kind == "timing":
+            shown = f"{before * 1e3:.3f} ms -> {after * 1e3:.3f} ms"
+        else:
+            shown = f"{before:.3f} -> {after:.3f} ({kind}, {direction} is better)"
+        print(f"  {name}: {shown} ({badness:.2f}x vs {limit:.2f}x cap) {marker}")
+        if badness > limit:
+            regressions.append((name, before, after, badness))
     return regressions
 
 
@@ -205,6 +283,13 @@ def main(argv: list[str] | None = None) -> int:
         help=f"failing LOADED/BASE ratio for --overhead pairs "
         f"(default {DEFAULT_MAX_OVERHEAD})",
     )
+    parser.add_argument(
+        "--noisy-threshold",
+        type=float,
+        default=DEFAULT_NOISY_THRESHOLD,
+        help="failing ratio for entries with fewer than "
+        f"{MIN_STABLE_ROUNDS} rounds (default {DEFAULT_NOISY_THRESHOLD})",
+    )
     args = parser.parse_args(argv)
 
     regressions = compare(
@@ -212,6 +297,7 @@ def main(argv: list[str] | None = None) -> int:
         load_benchmarks(args.current),
         tuple(args.prefix),
         args.threshold,
+        args.noisy_threshold,
     )
     current_benchmarks = load_benchmarks(args.current)
     overhead_failures = check_overhead(
@@ -241,7 +327,7 @@ def main(argv: list[str] | None = None) -> int:
     print(f"perf gate: {len(regressions)} entr{'y' if len(regressions) == 1 else 'ies'} "
           f"regressed beyond {(args.threshold - 1.0) * 100:.0f}%:")
     for name, before, after, ratio in regressions:
-        print(f"  {name}: {before * 1e3:.3f} ms -> {after * 1e3:.3f} ms ({ratio:.2f}x)")
+        print(f"  {name}: {before:.6g} -> {after:.6g} ({ratio:.2f}x worse)")
     if os.environ.get("REPRO_PERF_BASELINE_UPDATE") == "1":
         print("REPRO_PERF_BASELINE_UPDATE=1: reporting only, not failing "
               "(commit the regenerated BENCH_perf.json to update the baseline)")

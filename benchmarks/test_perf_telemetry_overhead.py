@@ -53,8 +53,12 @@ def test_perf_telemetry_overhead(perf_export):
     overhead = enabled / disabled
     perf_export.record_seconds("perf_telemetry", "batch_disabled", disabled)
     perf_export.record_seconds("perf_telemetry", "batch_enabled", enabled)
-    # `_x` suffix: a ratio, skipped by the regression compare.
-    perf_export.record_seconds("perf_telemetry", "overhead_x", overhead)
+    # A ratio where *growth* is the regression (more instrumentation
+    # cost), unlike speedup ratios — hence the explicit direction.
+    perf_export.record_value(
+        "perf_telemetry", "overhead_x", overhead,
+        kind="ratio", unit="x", better="lower",
+    )
     assert overhead <= MAX_LOCAL_OVERHEAD, (
         f"enabled telemetry costs {overhead:.2f}x "
         f"(disabled {disabled * 1e3:.3f}ms vs enabled {enabled * 1e3:.3f}ms)"

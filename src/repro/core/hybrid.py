@@ -35,6 +35,13 @@ from repro.core.base import (
 )
 from repro.bandwidth.scale import clamp_bandwidth
 from repro.core.changepoints import detect_change_points
+from repro.core.hybrid_flat import (
+    FlatHybrid,
+    bin_offsets,
+    build_flat,
+    flat_density,
+    flat_selectivities,
+)
 from repro.core.kernel.boundary import make_kernel_estimator
 from repro.data.domain import Interval
 
@@ -119,7 +126,9 @@ class HybridEstimator(DensityEstimator):
         kwargs = dict(changepoint_kwargs or {})
         kwargs.setdefault("max_points", max_changepoints)
         points = detect_change_points(values, domain, **kwargs)
-        edges = self._merge_small_bins(values, domain, points, min_bin_fraction)
+        sorted_values = np.sort(values)
+        edges = self._merge_small_bins(sorted_values, domain, points, min_bin_fraction)
+        offsets = bin_offsets(sorted_values, edges)
 
         self._domain = domain
         self._n = int(values.size)
@@ -128,29 +137,52 @@ class HybridEstimator(DensityEstimator):
         self._weights: list[float] = []
         self._estimators: list[object] = []
         self._scales: list[float] = []
-        for interval in self._bins:
-            in_bin = self._bin_values(values, interval, domain)
+        bandwidths: list[float] = []
+        for index, interval in enumerate(self._bins):
+            in_bin = sorted_values[offsets[index] : offsets[index + 1]]
             self._weights.append(in_bin.size / self._n)
             estimator = self._build_bin_estimator(in_bin, interval, boundary, bandwidth_rule)
             self._estimators.append(estimator)
             self._scales.append(self._bin_scale(estimator, interval))
+            bandwidths.append(getattr(estimator, "bandwidth", 1.0))
+        # Contiguous fast path (boundary kernels only — the default):
+        # one concatenated sorted sample + per-bin arrays answers whole
+        # batches with two edge searches and segmented reductions; the
+        # per-bin objects above stay as the reference implementation.
+        self._flat: FlatHybrid | None = None
+        if boundary == "kernel":
+            coeff = np.asarray(self._weights) * np.asarray(self._scales)
+            is_kernel = np.array(
+                [not isinstance(est, _UniformBin) for est in self._estimators]
+            )
+            self._flat = build_flat(
+                sorted_values,
+                edges,
+                offsets,
+                coeff,
+                is_kernel,
+                np.asarray(bandwidths, dtype=np.float64),
+            )
 
     @staticmethod
     def _bin_values(values: np.ndarray, interval: Interval, domain: Interval) -> np.ndarray:
-        """Sample values belonging to a bin.
+        """Sample values belonging to a bin (shared binning rule).
 
         Bins are half-open ``[low, high)``; the rightmost bin is closed
-        so no sample is dropped or double counted.
+        so no sample is dropped or double counted.  Delegates to the
+        same ``searchsorted`` rule (:func:`bin_offsets`) the bin-merge
+        step and the flat layout use, so edge-coincident samples land
+        in one bin under every code path.
         """
-        if interval.high >= domain.high:
-            mask = (values >= interval.low) & (values <= interval.high)
-        else:
-            mask = (values >= interval.low) & (values < interval.high)
-        return values[mask]
+        sorted_values = np.sort(values)
+        lo = int(np.searchsorted(sorted_values, interval.low, side="left"))
+        side = "right" if interval.high >= domain.high else "left"
+        hi = int(np.searchsorted(sorted_values, interval.high, side=side))
+        return sorted_values[lo:hi]
 
     @staticmethod
     def _merge_small_bins(
-        values: np.ndarray,
+        sorted_values: np.ndarray,
         domain: Interval,
         points: np.ndarray,
         min_bin_fraction: float,
@@ -159,12 +191,15 @@ class HybridEstimator(DensityEstimator):
 
         Greedy: while some bin holds less than the minimum fraction,
         remove the interior boundary that separates it from its
-        lighter neighbour.
+        lighter neighbour.  Bin populations come from the same
+        ``searchsorted`` rule as every other binning step
+        (:func:`bin_offsets`), so a sample exactly on an interior edge
+        is counted by the bin that will actually own it.
         """
         edges = np.concatenate(([domain.low], np.asarray(points, dtype=np.float64), [domain.high]))
-        minimum = min_bin_fraction * values.size
+        minimum = min_bin_fraction * sorted_values.size
         while edges.size > 2:
-            counts, _ = np.histogram(values, bins=edges)
+            counts = np.diff(bin_offsets(sorted_values, edges))
             light = int(np.argmin(counts))
             if counts[light] >= minimum:
                 break
@@ -193,6 +228,11 @@ class HybridEstimator(DensityEstimator):
             # Degenerate bins (all duplicates => zero scale) cannot
             # support a kernel estimate.
             return _UniformBin(interval)
+        # Non-finite bandwidths (a rule dividing by a zero scale can
+        # produce NaN/inf) must be caught *before* the clamp, which
+        # would silently coerce them to the cap.
+        if not np.isfinite(bandwidth):
+            return _UniformBin(interval)
         # Cap the bandwidth at a quarter of the bin width so the two
         # boundary regions never cover more than half the bin.  The
         # looser half-width cap (which only keeps the regions disjoint)
@@ -202,7 +242,13 @@ class HybridEstimator(DensityEstimator):
         bandwidth = clamp_bandwidth(bandwidth, interval.width / 2.0)
         if bandwidth <= 0:
             return _UniformBin(interval)
-        return make_kernel_estimator(in_bin, bandwidth, interval, boundary=boundary)
+        # ``use_moments=False``: the per-bin objects double as the
+        # reference implementation for the flat fast path, so they pin
+        # the per-sample arithmetic and stay numerically independent
+        # of the prefix-moment evaluation.
+        return make_kernel_estimator(
+            in_bin, bandwidth, interval, boundary=boundary, use_moments=False
+        )
 
     @staticmethod
     def _bin_scale(estimator: "_UniformBin | KernelSelectivityEstimator", interval: Interval) -> float:
@@ -252,11 +298,12 @@ class HybridEstimator(DensityEstimator):
         return float(self.selectivities(np.array([a]), np.array([b]))[0])
 
     def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Batched per-bin dispatch.
+        """Batched selectivity over the partition.
 
-        Each bin evaluates only the queries that overlap it (clipped
-        to the bin), so a batch is answered in one vectorized call per
-        bin instead of a per-query walk over the partition.  Per-bin
+        With boundary kernels (the default) the contiguous flat layout
+        answers the whole batch with two ``searchsorted`` calls plus
+        segmented reductions across all bins at once; other boundary
+        treatments fall back to the per-bin reference loop.  Per-bin
         estimates are renormalized to unit mass over the bin before
         weighting (see :meth:`_bin_scale`).
         """
@@ -264,6 +311,27 @@ class HybridEstimator(DensityEstimator):
         shape = np.broadcast(a, b).shape
         flat_a = np.broadcast_to(a, shape).astype(np.float64, copy=False).ravel()
         flat_b = np.broadcast_to(b, shape).astype(np.float64, copy=False).ravel()
+        if self._flat is not None:
+            total = flat_selectivities(self._flat, flat_a, flat_b)
+        else:
+            total = self._selectivities_loop(flat_a, flat_b)
+        return np.clip(total, 0.0, 1.0).reshape(shape)
+
+    def selectivities_reference(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Per-bin reference implementation (independent arithmetic).
+
+        Walks the per-bin estimator objects exactly as the pre-flat
+        implementation did; ``tests/test_hybrid_flat.py`` property
+        checks the flat fast path against this to 1e-12.
+        """
+        a, b = validate_query_batch(a, b)
+        shape = np.broadcast(a, b).shape
+        flat_a = np.broadcast_to(a, shape).astype(np.float64, copy=False).ravel()
+        flat_b = np.broadcast_to(b, shape).astype(np.float64, copy=False).ravel()
+        total = self._selectivities_loop(flat_a, flat_b)
+        return np.clip(total, 0.0, 1.0).reshape(shape)
+
+    def _selectivities_loop(self, flat_a: np.ndarray, flat_b: np.ndarray) -> np.ndarray:
         total = np.zeros(flat_a.shape, dtype=np.float64)
         for interval, weight, scale, estimator in zip(
             self._bins, self._weights, self._scales, self._estimators
@@ -278,10 +346,20 @@ class HybridEstimator(DensityEstimator):
             hi = np.maximum(hi, lo)
             part = estimator.raw_selectivities(lo, hi)
             total[overlap] += (weight * scale) * part
-        return np.clip(total, 0.0, 1.0).reshape(shape)
+        return total
 
     def density(self, x: np.ndarray) -> np.ndarray:
         x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        if self._flat is not None:
+            return flat_density(self._flat, x.ravel()).reshape(x.shape)
+        return self._density_loop(x)
+
+    def density_reference(self, x: np.ndarray) -> np.ndarray:
+        """Per-bin reference implementation of :meth:`density`."""
+        x = np.atleast_1d(np.asarray(x, dtype=np.float64))
+        return self._density_loop(x)
+
+    def _density_loop(self, x: np.ndarray) -> np.ndarray:
         total = np.zeros(x.shape, dtype=np.float64)
         for interval, weight, scale, estimator in zip(
             self._bins, self._weights, self._scales, self._estimators

@@ -73,6 +73,8 @@ class ReflectionKernelEstimator(KernelSelectivityEstimator):
         bandwidth: float,
         domain: Interval,
         kernel: "KernelFunction | str" = EPANECHNIKOV,
+        *,
+        use_moments: bool = True,
     ) -> None:
         values = validate_sample(sample, domain)
         h = _validate_bandwidth(bandwidth)
@@ -83,7 +85,7 @@ class ReflectionKernelEstimator(KernelSelectivityEstimator):
         augmented = np.concatenate(
             [values, 2.0 * domain.low - left, 2.0 * domain.high - right]
         )
-        super().__init__(augmented, h, resolved, domain=None)
+        super().__init__(augmented, h, resolved, domain=None, use_moments=use_moments)
         self._domain = domain
         self._norm = int(values.size)
 
@@ -160,6 +162,8 @@ class BoundaryKernelEstimator(KernelSelectivityEstimator):
         bandwidth: float,
         domain: Interval,
         kernel: "KernelFunction | str" = EPANECHNIKOV,
+        *,
+        use_moments: bool = True,
     ) -> None:
         resolved = get_kernel(kernel)
         if resolved.name != "epanechnikov":
@@ -173,7 +177,7 @@ class BoundaryKernelEstimator(KernelSelectivityEstimator):
                 f"bandwidth {h} is too large for boundary treatment on a domain of "
                 f"width {domain.width}: the two boundary regions would overlap"
             )
-        super().__init__(sample, h, resolved, domain)
+        super().__init__(sample, h, resolved, domain, use_moments=use_moments)
 
     def raw_selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         domain, h = self._domain, self._h
@@ -293,6 +297,7 @@ def make_kernel_estimator(
     *,
     boundary: str = "none",
     kernel: "KernelFunction | str" = EPANECHNIKOV,
+    use_moments: bool = True,
 ) -> KernelSelectivityEstimator:
     """Build a kernel estimator with the requested boundary treatment.
 
@@ -304,15 +309,25 @@ def make_kernel_estimator(
         ``"none"`` (untreated), ``"reflection"`` or ``"kernel"``
         (Simonoff–Dong boundary kernels).  Both treatments require a
         domain.
+    use_moments:
+        Permit the prefix-moment O(1) window sums (Epanechnikov only;
+        automatically gated by the precision ratio).  ``False`` pins
+        the per-sample reference arithmetic.
     """
     if boundary not in BOUNDARY_TREATMENTS:
         raise ValueError(
             f"unknown boundary treatment {boundary!r}; expected one of {BOUNDARY_TREATMENTS}"
         )
     if boundary == "none":
-        return KernelSelectivityEstimator(sample, bandwidth, kernel, domain)
+        return KernelSelectivityEstimator(
+            sample, bandwidth, kernel, domain, use_moments=use_moments
+        )
     if domain is None:
         raise InvalidSampleError(f"boundary treatment {boundary!r} requires a domain")
     if boundary == "reflection":
-        return ReflectionKernelEstimator(sample, bandwidth, domain, kernel)
-    return BoundaryKernelEstimator(sample, bandwidth, domain, kernel)
+        return ReflectionKernelEstimator(
+            sample, bandwidth, domain, kernel, use_moments=use_moments
+        )
+    return BoundaryKernelEstimator(
+        sample, bandwidth, domain, kernel, use_moments=use_moments
+    )

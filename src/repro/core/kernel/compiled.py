@@ -1,0 +1,215 @@
+"""Opt-in compiled window-sum kernels (numba) with NumPy fallback.
+
+The two inner loops everything hot reduces to — Epanechnikov CDF sums
+over sorted-sample windows (selectivity batches) and Gaussian
+derivative sums over windows (change-point detection, the DPI plug-in
+functionals) — are pure arithmetic over contiguous slices, exactly the
+shape a JIT compiler eats.  When `numba` is importable the callers in
+:mod:`repro.core.kernel.estimator` and :mod:`repro.core.kernel.density`
+dispatch here; otherwise they stay on the vectorized NumPy path.  The
+pattern mirrors the typing gate's "skip when mypy absent": the
+compiled layer is an accelerator, never a dependency.
+
+Selection is controlled by the ``REPRO_ACCEL`` environment variable:
+
+``auto`` (default)
+    Use numba when importable, NumPy otherwise.
+``numba``
+    Require numba; raise if it is missing (CI legs that *must*
+    exercise the compiled layer set this so a broken install cannot
+    silently fall back and still pass).
+``none``
+    Force the NumPy path even when numba is present (used by the
+    bit-for-bit equivalence tests to time/compare both paths in one
+    process).
+
+The jitted loops accumulate each window strictly left to right — the
+same order ``np.add.reduceat`` applies — so the compiled and fallback
+paths produce identical bits on identical inputs, which
+``tests/test_compiled.py`` asserts whenever numba is available.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from typing import Any, Callable
+
+import numpy as np
+
+#: Environment variable selecting the acceleration mode.
+ACCEL_ENV = "REPRO_ACCEL"
+
+#: Accepted ``REPRO_ACCEL`` values.
+ACCEL_MODES = ("auto", "numba", "none")
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except Exception:  # pragma: no cover - the common (baked-image) case
+    _numba = None
+
+#: Whether the numba package is importable at all.
+HAVE_NUMBA = _numba is not None
+
+_SQRT_2PI = math.sqrt(2.0 * math.pi)
+
+_compile_lock = threading.Lock()
+#: Lazily jitted kernels, keyed by name; guarded by ``_compile_lock``.
+_jitted: dict[str, Callable[..., Any]] = {}
+
+
+def accel_mode() -> str:
+    """The resolved ``REPRO_ACCEL`` mode (validated)."""
+    mode = os.environ.get(ACCEL_ENV, "auto").strip().lower() or "auto"
+    if mode not in ACCEL_MODES:
+        raise ValueError(
+            f"{ACCEL_ENV} must be one of {ACCEL_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+def accelerated() -> bool:
+    """Whether the compiled layer is active for this process."""
+    mode = accel_mode()
+    if mode == "none":
+        return False
+    if mode == "numba":
+        if not HAVE_NUMBA:
+            raise RuntimeError(
+                f"{ACCEL_ENV}=numba but the numba package is not importable; "
+                "install numba or drop the override"
+            )
+        return True
+    return HAVE_NUMBA
+
+
+def _epan_cdf_sums_py(
+    x: np.ndarray,
+    sample: np.ndarray,
+    inv_h: float,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    # Jitted below; mirrors functions._epanechnikov_cdf exactly
+    # (same clip, same Horner order) so both paths round identically.
+    for j in range(x.size):
+        acc = 0.0
+        for i in range(lo[j], hi[j]):
+            t = (x[j] - sample[i]) * inv_h
+            if t < -1.0:
+                t = -1.0
+            elif t > 1.0:
+                t = 1.0
+            u = t * t
+            u -= 3.0
+            u *= t
+            u *= -0.25
+            u += 0.5
+            acc += u
+        out[j] = acc
+
+
+def _gauss_deriv_sums_py(
+    x: np.ndarray,
+    sample: np.ndarray,
+    inv_g: float,
+    order: int,
+    lo: np.ndarray,
+    hi: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    # Jitted below; matches density._DERIVATIVES term for term.
+    for j in range(x.size):
+        acc = 0.0
+        for i in range(lo[j], hi[j]):
+            t = (x[j] - sample[i]) * inv_g
+            phi = math.exp(-0.5 * t * t) / _SQRT_2PI
+            if order == 0:
+                acc += phi
+            elif order == 1:
+                acc += -t * phi
+            elif order == 2:
+                acc += (t * t - 1.0) * phi
+            elif order == 3:
+                acc += (3.0 * t - t * t * t) * phi
+            else:
+                tt = t * t
+                acc += (tt * tt - 6.0 * tt + 3.0) * phi
+        out[j] = acc
+
+
+def _get_jitted(name: str) -> Callable[..., Any] | None:
+    """The jitted kernel for ``name``, compiling on first use."""
+    if _numba is None:
+        return None
+    jitted = _jitted.get(name)
+    if jitted is not None:
+        return jitted
+    with _compile_lock:
+        jitted = _jitted.get(name)
+        if jitted is None:  # pragma: no cover - needs numba installed
+            source = {
+                "epan_cdf_sums": _epan_cdf_sums_py,
+                "gauss_deriv_sums": _gauss_deriv_sums_py,
+            }[name]
+            jitted = _numba.njit(cache=True, fastmath=False)(source)
+            _jitted[name] = jitted
+    return jitted
+
+
+def epan_cdf_window_sums(
+    x: np.ndarray,
+    sample: np.ndarray,
+    inv_h: float,
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> np.ndarray | None:
+    """Compiled ``sum_i C((x_j - X_i) * inv_h)`` per window, or ``None``.
+
+    Returns ``None`` when the compiled layer is inactive so the caller
+    falls through to its vectorized NumPy path.
+    """
+    if not accelerated():
+        return None
+    kernel = _get_jitted("epan_cdf_sums")
+    if kernel is None:  # pragma: no cover - accelerated() guarantees numba
+        return None
+    out = np.empty(x.shape, dtype=np.float64)
+    kernel(
+        np.ascontiguousarray(x),
+        sample,
+        float(inv_h),
+        np.ascontiguousarray(lo, dtype=np.int64),
+        np.ascontiguousarray(hi, dtype=np.int64),
+        out,
+    )
+    return out
+
+
+def gaussian_derivative_window_sums(
+    x: np.ndarray,
+    sample: np.ndarray,
+    inv_g: float,
+    order: int,
+    lo: np.ndarray,
+    hi: np.ndarray,
+) -> np.ndarray | None:
+    """Compiled ``sum_i phi^(order)((x_j - X_i) * inv_g)``, or ``None``."""
+    if not accelerated() or order not in (0, 1, 2, 3, 4):
+        return None
+    kernel = _get_jitted("gauss_deriv_sums")
+    if kernel is None:  # pragma: no cover - accelerated() guarantees numba
+        return None
+    out = np.empty(x.shape, dtype=np.float64)
+    kernel(
+        np.ascontiguousarray(x),
+        sample,
+        float(inv_g),
+        int(order),
+        np.ascontiguousarray(lo, dtype=np.int64),
+        np.ascontiguousarray(hi, dtype=np.int64),
+        out,
+    )
+    return out

@@ -42,6 +42,8 @@ from repro.core.base import (
     validate_query_batch,
     validate_sample,
 )
+from repro.core.kernel import compiled
+from repro.core.kernel import moments as moments_mod
 from repro.core.kernel.functions import EPANECHNIKOV, KernelFunction, get_kernel
 from repro.data.domain import Interval
 
@@ -64,6 +66,11 @@ def _validate_bandwidth(bandwidth: float) -> float:
 #: kernel contributions.
 PickFn = Callable[[np.ndarray], np.ndarray]
 WindowTerm = Callable[[PickFn, np.ndarray], np.ndarray]
+#: Multi-term variant: ``prepare`` builds shared per-element state
+#: (e.g. the scaled offsets and one kernel evaluation) and each term
+#: maps that state to its per-element contributions.
+PrepareFn = Callable[[PickFn, np.ndarray], object]
+SharedTerm = Callable[[object], np.ndarray]
 
 
 def segment_window_sums(lo: np.ndarray, hi: np.ndarray, term: WindowTerm) -> np.ndarray:
@@ -89,10 +96,36 @@ def segment_window_sums(lo: np.ndarray, hi: np.ndarray, term: WindowTerm) -> np.
         receives (and ``pick`` returns) are fresh, so it may mutate
         them in place.
     """
+
+    def prepare(pick: PickFn, sample_idx: np.ndarray) -> object:
+        return term(pick, sample_idx)
+
+    def identity(values: object) -> np.ndarray:
+        return values  # type: ignore[return-value]
+
+    return segment_window_multi_sums(lo, hi, prepare, [identity])[0]
+
+
+def segment_window_multi_sums(
+    lo: np.ndarray,
+    hi: np.ndarray,
+    prepare: PrepareFn,
+    terms: "list[SharedTerm]",
+) -> "list[np.ndarray]":
+    """Per-window sums of several kernel terms sharing one evaluation.
+
+    Generalizes :func:`segment_window_sums` to terms that share
+    expensive per-element state — e.g. the Gaussian derivative stack,
+    where one ``exp`` evaluation feeds every Hermite order.
+    ``prepare(pick, sample_idx)`` is called once per chunk and its
+    result is handed to each ``terms[k]``, whose output is segment-
+    reduced into the ``k``-th returned array.  Terms must not mutate
+    the shared state they receive.
+    """
     lo = np.asarray(lo, dtype=np.intp)
     hi = np.asarray(hi, dtype=np.intp)
     counts = hi - lo
-    out = np.zeros(counts.shape, dtype=np.float64)
+    out = [np.zeros(counts.shape, dtype=np.float64) for _ in terms]
     if counts.size == 0:
         return out
     cumulative = np.cumsum(counts)
@@ -125,9 +158,11 @@ def segment_window_sums(lo: np.ndarray, hi: np.ndarray, term: WindowTerm) -> np.
             ) -> np.ndarray:
                 return np.repeat(arr[_s:_e], _c)
 
-            values = term(pick, sample_idx)
+            shared = prepare(pick, sample_idx)
             nonempty = chunk_counts > 0
-            out[start:stop][nonempty] = np.add.reduceat(values, prefix[nonempty])
+            for k, term in enumerate(terms):
+                values = term(shared)
+                out[k][start:stop][nonempty] = np.add.reduceat(values, prefix[nonempty])
         start = stop
     return out
 
@@ -155,6 +190,8 @@ class KernelSelectivityEstimator(DensityEstimator):
         bandwidth: float,
         kernel: "KernelFunction | str" = EPANECHNIKOV,
         domain: Interval | None = None,
+        *,
+        use_moments: bool = True,
     ) -> None:
         self._sorted = np.sort(validate_sample(sample, domain))
         self._sorted.flags.writeable = False
@@ -166,6 +203,21 @@ class KernelSelectivityEstimator(DensityEstimator):
         # by the original n (the mirrored mass belongs to its source
         # sample, paper §3.2.1).
         self._norm = int(self._sorted.size)
+        # Prefix-moment O(1) window sums (Epanechnikov only; eager so
+        # the estimator stays frozen after build).  The precision gate
+        # keeps the polynomial-expansion cancellation far below 1e-12;
+        # ``use_moments=False`` pins the per-sample path — the hybrid's
+        # reference bins use it so the fast and reference paths stay
+        # numerically independent.
+        self._moments: moments_mod.PrefixMoments | None = None
+        if (
+            use_moments
+            and self._kernel.name == "epanechnikov"
+            and self._sorted.size > 0
+            and moments_mod.half_spread(self._sorted)
+            <= moments_mod.MOMENT_MAX_RATIO * self._h
+        ):
+            self._moments = moments_mod.build_moments(self._sorted)
 
     @property
     def sample_size(self) -> int:
@@ -197,13 +249,21 @@ class KernelSelectivityEstimator(DensityEstimator):
         Samples more than one kernel reach below ``x`` contribute
         exactly 1 (counted via ``searchsorted``), samples above the
         reach contribute 0; only the window in between evaluates the
-        kernel primitive.
+        kernel primitive — in O(1) per point through the prefix
+        moments when available, else per sample (compiled layer when
+        active, vectorized NumPy otherwise).
         """
         sample, h = self._sorted, self._h
         reach = h * self._kernel.support
         lo = np.searchsorted(sample, x - reach, side="left")
         hi = np.searchsorted(sample, x + reach, side="right")
         inv_h = 1.0 / h
+        if self._moments is not None:
+            return lo + moments_mod.epan_cdf_sums(self._moments, x, inv_h, lo, hi)
+        if self._kernel.name == "epanechnikov":
+            jitted = compiled.epan_cdf_window_sums(x, sample, inv_h, lo, hi)
+            if jitted is not None:
+                return lo + jitted
 
         def term(pick: PickFn, i: np.ndarray) -> np.ndarray:
             t = pick(x)
@@ -221,9 +281,12 @@ class KernelSelectivityEstimator(DensityEstimator):
         reach = h * self._kernel.support
         lo = np.searchsorted(sample, flat - reach, side="left")
         hi = np.searchsorted(sample, flat + reach, side="right")
-        sums = segment_window_sums(
-            lo, hi, lambda pick, i: self._kernel.pdf((pick(flat) - sample[i]) / h)
-        )
+        if self._moments is not None:
+            sums = moments_mod.epan_pdf_sums(self._moments, flat, 1.0 / h, lo, hi)
+        else:
+            sums = segment_window_sums(
+                lo, hi, lambda pick, i: self._kernel.pdf((pick(flat) - sample[i]) / h)
+            )
         return (sums / (self._norm * h)).reshape(x.shape)
 
     def selectivity(self, a: float, b: float) -> float:

@@ -22,7 +22,12 @@ from repro.db.table import Table
 from repro.telemetry import get_telemetry
 from repro.telemetry.quality import QualityRecord, record_quality
 
-#: Entries kept in each planner's recent-estimate LRU.
+#: Entries kept in each planner's recent-estimate LRU.  Sized when a
+#: hybrid estimate cost ~100 us of per-bin Python dispatch; the flat
+#: hybrid layout cut that by an order of magnitude, but the cache stays
+#: at 512 because repeated hot predicates still dominate optimizer
+#: workloads and the hit-rate SLO (see docs/OBSERVABILITY.md) is
+#: calibrated against this capacity.
 ESTIMATE_CACHE_SIZE = 512
 
 

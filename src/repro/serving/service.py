@@ -167,7 +167,12 @@ class _Admission:
         self._cond = threading.Condition(threading.Lock())
         self._inflight = 0
         self._waiting = 0
-        self._ema_serve_s = 0.01
+        # Cold-start prior for the service-time EMA, used to size the
+        # retry-after hint before any request completes.  1 ms matches
+        # the flattened hybrid serving path (a cold estimate runs
+        # ~0.4 ms; the old 10 ms prior dated from the per-bin loop and
+        # overstated early back-off hints by an order of magnitude).
+        self._ema_serve_s = 0.001
 
     def acquire(self, start: float, deadline_s: float) -> float:
         """Take a slot; returns seconds spent waiting in the queue."""

@@ -44,7 +44,13 @@ from repro.telemetry.manifest import (
     manifest_dir,
     write_manifest,
 )
-from repro.telemetry.bench import BenchmarkExporter
+from repro.telemetry.bench import (
+    BENCH_KINDS,
+    HIGHER_IS_BETTER_KINDS,
+    BenchmarkExporter,
+    entry_direction,
+    entry_kind,
+)
 from repro.telemetry.quality import (
     QERROR_FLOOR,
     QualityRecord,
@@ -75,6 +81,7 @@ from repro.telemetry.slo import (
 )
 from repro.telemetry.export import (
     JsonlEventLog,
+    bench_exposition,
     default_event_log,
     iter_events,
     parse_exposition,
@@ -82,8 +89,10 @@ from repro.telemetry.export import (
 )
 
 __all__ = [
+    "BENCH_KINDS",
     "BenchmarkExporter",
     "DEFAULT_SLOS",
+    "HIGHER_IS_BETTER_KINDS",
     "DriftMonitor",
     "DriftReading",
     "JsonlEventLog",
@@ -103,8 +112,11 @@ __all__ = [
     "Telemetry",
     "ValueSummary",
     "aggregate_manifests",
+    "bench_exposition",
     "build_manifest",
     "default_event_log",
+    "entry_direction",
+    "entry_kind",
     "evaluate_bench",
     "evaluate_registry",
     "evaluate_snapshot",

@@ -14,9 +14,24 @@ The file maps ``<group>.<name>`` to summary stats::
       "schema": "repro.telemetry.bench/v1",
       "updated_unix": 1754480000.0,
       "benchmarks": {
-        "perf_build.kernel_ns": {"mean_s": ..., "min_s": ..., ...}
+        "perf_build.kernel_ns":
+            {"kind": "timing", "unit": "seconds", "mean_s": ..., ...},
+        "perf_batch.speedup_10000_x":
+            {"kind": "ratio", "unit": "x", "value": ...}
       }
     }
+
+Every entry is typed: ``kind`` says what the number *is* (``timing``,
+``ratio`` or ``rate``) and therefore which direction is better
+(timings regress upward, ratios and rates regress downward), and
+``unit`` names the unit for exporters.  Historically ratio/rate
+observations (batch speedup, sustained QPS) were shoved under the
+seconds-typed ``mean_s`` key, which mislabeled them in Prometheus
+output and made the perf gate read "speedup grew" as a latency
+regression; dimensioned values now live under ``value`` instead.
+``benchmarks/perf_gate.py`` consumes the ``kind`` to pick the
+comparison direction (inferring ``ratio`` from a legacy ``_x`` name
+suffix when the field is absent).
 
 Re-running a subset of the benchmarks only overwrites the entries it
 measured; everything else is preserved.
@@ -31,6 +46,40 @@ from typing import Mapping
 
 #: Schema identifier embedded in the export file.
 BENCH_SCHEMA = "repro.telemetry.bench/v1"
+
+#: Entry kinds the schema admits.  ``timing`` regresses when it grows;
+#: ``ratio`` and ``rate`` regress when they shrink.
+BENCH_KINDS = ("timing", "ratio", "rate")
+
+#: Kinds where a *larger* number is the better one (by default —
+#: an entry's explicit ``better`` field overrides, e.g. an overhead
+#: ratio where growth is the regression).
+HIGHER_IS_BETTER_KINDS = frozenset({"ratio", "rate"})
+
+
+def entry_kind(name: str, entry: Mapping[str, object]) -> str:
+    """The (possibly inferred) kind of one benchmarks-map entry.
+
+    Prefers the explicit ``kind`` field; legacy entries written before
+    the schema carried kinds are inferred from the naming convention —
+    a ``_x`` suffix marked ratios/rates — and default to ``timing``.
+    """
+    kind = entry.get("kind")
+    if isinstance(kind, str) and kind in BENCH_KINDS:
+        return kind
+    return "ratio" if name.endswith("_x") else "timing"
+
+
+def entry_direction(name: str, entry: Mapping[str, object]) -> str:
+    """Which way is better for one entry: ``"higher"`` or ``"lower"``.
+
+    The explicit ``better`` field wins; otherwise the kind decides
+    (timings prefer lower, ratios/rates prefer higher).
+    """
+    better = entry.get("better")
+    if better in ("higher", "lower"):
+        return str(better)
+    return "higher" if entry_kind(name, entry) in HIGHER_IS_BETTER_KINDS else "lower"
 
 
 def _stat(stats: object, attribute: str) -> float | None:
@@ -69,11 +118,52 @@ class BenchmarkExporter:
         rounds = getattr(stats, "rounds", None)
         if rounds is not None:
             entry["rounds"] = int(rounds)
+        entry["kind"] = "timing"
+        entry["unit"] = "seconds"
         self._entries[f"{group}.{name}"] = entry
 
     def record_seconds(self, group: str, name: str, seconds: float) -> None:
         """Record a single hand-timed measurement."""
-        self._entries[f"{group}.{name}"] = {"mean_s": float(seconds), "rounds": 1}
+        self._entries[f"{group}.{name}"] = {
+            "mean_s": float(seconds),
+            "rounds": 1,
+            "kind": "timing",
+            "unit": "seconds",
+        }
+
+    def record_value(
+        self,
+        group: str,
+        name: str,
+        value: float,
+        *,
+        kind: str,
+        unit: str,
+        better: str | None = None,
+    ) -> None:
+        """Record a dimensioned (non-timing) observation.
+
+        Ratios (e.g. a speedup factor) and rates (e.g. sustained QPS)
+        are *not* timings: storing them under ``mean_s`` mislabels the
+        unit in every exporter and inverts the better-direction in the
+        perf gate.  They go under the ``value`` key with an explicit
+        ``kind``/``unit`` instead.  ``better`` overrides the kind's
+        default direction — e.g. an instrumentation-overhead ratio
+        regresses by *growing*, so it records ``better="lower"``.
+        """
+        if kind not in BENCH_KINDS:
+            raise ValueError(f"kind must be one of {BENCH_KINDS}, got {kind!r}")
+        if better not in (None, "higher", "lower"):
+            raise ValueError(f"better must be 'higher' or 'lower', got {better!r}")
+        entry: dict[str, object] = {
+            "value": float(value),
+            "rounds": 1,
+            "kind": kind,
+            "unit": unit,
+        }
+        if better is not None:
+            entry["better"] = better
+        self._entries[f"{group}.{name}"] = entry
 
     @property
     def entries(self) -> Mapping[str, Mapping[str, object]]:

@@ -9,6 +9,11 @@ Two serving-friendly output formats for everything a
   plus ``_sum``/``_count``) — ready for a scrape endpoint or a textfile
   collector.  :func:`parse_exposition` reads the format back (used by
   the round-trip tests and by anything that wants to diff expositions).
+* :func:`bench_exposition` renders the ``benchmarks`` map of a
+  ``BENCH_perf.json`` export as gauges whose metric names carry the
+  *correct* unit suffix per entry kind (``_seconds`` for timings,
+  ``_ratio`` for ratios, ``_per_second`` for rates) — dimensioned
+  entries are no longer published as if they were latencies.
 * :class:`JsonlEventLog` appends structured events as one JSON object
   per line, the tail-able audit stream for quality observations, SLO
   verdicts and drift readings.
@@ -118,6 +123,57 @@ def prometheus_exposition(
         count = summary.get("count", 0)
         lines.append(f"{metric}_sum{base_labels} {_format_value(float(total))}")
         lines.append(f"{metric}_count{base_labels} {_format_value(float(count))}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+#: Metric-name suffix per bench entry kind (Prometheus convention puts
+#: the unit in the name).
+_BENCH_SUFFIX = {"timing": "seconds", "ratio": "ratio", "rate": "per_second"}
+
+
+def bench_exposition(
+    benchmarks: Mapping[str, Mapping[str, object]],
+    prefix: str = "repro_bench",
+    labels: Mapping[str, str] | None = None,
+) -> str:
+    """Render a ``BENCH_perf.json`` benchmarks map as Prometheus gauges.
+
+    Each entry becomes one gauge named with the unit suffix its kind
+    dictates — ``perf_batch.kernel_100`` (a timing) becomes
+    ``repro_bench_perf_batch_kernel_100_seconds``, while
+    ``perf_batch.speedup_10000_x`` (a ratio) becomes
+    ``..._speedup_10000_x_ratio`` instead of masquerading as seconds.
+    Timing entries publish their median when available (falling back
+    to the mean); dimensioned entries publish ``value`` (falling back
+    to the legacy mislabeled ``mean_s`` so pre-migration exports still
+    render, just with the honest unit in the name).
+    """
+    from repro.telemetry.bench import entry_kind
+
+    # Accept the whole loaded BENCH_perf.json as well as its inner
+    # benchmarks map — silently rendering an empty page for the
+    # natural `json.load(...)` call would be a footgun.
+    wrapped = benchmarks.get("benchmarks")
+    if isinstance(wrapped, Mapping) and "schema" in benchmarks:
+        benchmarks = wrapped
+
+    base_labels = _render_labels(labels)
+    lines: list[str] = []
+    for name in sorted(benchmarks):
+        entry = benchmarks[name]
+        if not isinstance(entry, Mapping):
+            continue
+        kind = entry_kind(name, entry)
+        if kind == "timing":
+            observed = entry.get("median_s", entry.get("mean_s"))
+        else:
+            observed = entry.get("value", entry.get("mean_s"))
+        if not isinstance(observed, (int, float)):
+            continue
+        metric = _metric_name(prefix, f"{name}_{_BENCH_SUFFIX[kind]}")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric}{base_labels} {_format_value(float(observed))}")
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
 

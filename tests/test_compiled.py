@@ -1,0 +1,147 @@
+"""The opt-in compiled window-sum layer and its fallback contract.
+
+numba is deliberately absent from the baked image, so most of these
+tests exercise the *gating*: mode parsing, the hard failure when
+``REPRO_ACCEL=numba`` has nothing to import, and the ``None`` returns
+that keep callers on the vectorized NumPy path.  The bit-for-bit
+equivalence class runs only where numba is installed (an optional CI
+leg) and asserts the jitted loops round identically to the pure-Python
+sources they were compiled from.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.kernel import compiled
+from repro.core.kernel.compiled import (
+    ACCEL_ENV,
+    HAVE_NUMBA,
+    _epan_cdf_sums_py,
+    _gauss_deriv_sums_py,
+    accel_mode,
+    accelerated,
+    epan_cdf_window_sums,
+    gaussian_derivative_window_sums,
+)
+
+
+def _windows(seed=0, n=256, m=32, h=0.4):
+    rng = np.random.default_rng(seed)
+    sample = np.sort(rng.uniform(0.0, 4.0, n))
+    x = rng.uniform(0.0, 4.0, m)
+    lo = np.searchsorted(sample, x - h, side="left")
+    hi = np.searchsorted(sample, x + h, side="right")
+    return x, sample, 1.0 / h, lo, hi
+
+
+class TestModeGating:
+    def test_default_mode_is_auto(self, monkeypatch):
+        monkeypatch.delenv(ACCEL_ENV, raising=False)
+        assert accel_mode() == "auto"
+
+    @pytest.mark.parametrize("raw", ["auto", "NUMBA", " none ", "None"])
+    def test_modes_normalized(self, monkeypatch, raw):
+        monkeypatch.setenv(ACCEL_ENV, raw)
+        assert accel_mode() == raw.strip().lower()
+
+    def test_invalid_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv(ACCEL_ENV, "cython")
+        with pytest.raises(ValueError, match="REPRO_ACCEL"):
+            accel_mode()
+
+    def test_none_disables(self, monkeypatch):
+        monkeypatch.setenv(ACCEL_ENV, "none")
+        assert accelerated() is False
+
+    def test_auto_follows_availability(self, monkeypatch):
+        monkeypatch.setenv(ACCEL_ENV, "auto")
+        assert accelerated() is HAVE_NUMBA
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="needs numba to be absent")
+    def test_numba_mode_fails_loudly_without_numba(self, monkeypatch):
+        monkeypatch.setenv(ACCEL_ENV, "numba")
+        with pytest.raises(RuntimeError, match="not importable"):
+            accelerated()
+
+    def test_inactive_layer_returns_none(self, monkeypatch):
+        monkeypatch.setenv(ACCEL_ENV, "none")
+        x, sample, inv_h, lo, hi = _windows()
+        assert epan_cdf_window_sums(x, sample, inv_h, lo, hi) is None
+        assert gaussian_derivative_window_sums(x, sample, inv_h, 2, lo, hi) is None
+
+
+class TestPythonSources:
+    """The loops numba compiles must agree with the vectorized kernels
+    they shadow — asserted on the pure-Python sources so the contract
+    holds even where numba is absent."""
+
+    def test_epan_cdf_matches_kernel_function(self):
+        from repro.core.kernel.functions import get_kernel
+
+        x, sample, inv_h, lo, hi = _windows(seed=1)
+        out = np.empty(x.shape)
+        _epan_cdf_sums_py(x, sample, inv_h, lo, hi, out)
+        cdf = get_kernel("epanechnikov").cdf
+        expected = np.array(
+            [
+                float(np.sum(cdf((xx - sample[l:h]) * inv_h)))
+                for xx, l, h in zip(x, lo, hi)
+            ]
+        )
+        np.testing.assert_allclose(out, expected, atol=1e-15)
+
+    @pytest.mark.parametrize("order", [0, 1, 2, 3, 4])
+    def test_gauss_derivatives_match_density_terms(self, order):
+        from repro.core.kernel.density import _DERIVATIVES
+
+        x, sample, inv_g, lo, hi = _windows(seed=2, h=1.0)
+        out = np.empty(x.shape)
+        _gauss_deriv_sums_py(x, sample, inv_g, order, lo, hi, out)
+        term = _DERIVATIVES[order]
+        expected = np.array(
+            [
+                float(np.sum(term((xx - sample[l:h]) * inv_g)))
+                for xx, l, h in zip(x, lo, hi)
+            ]
+        )
+        # np.sum accumulates pairwise, the loop sequentially: same
+        # terms, slightly different rounding of the sum.
+        np.testing.assert_allclose(out, expected, rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.skipif(not HAVE_NUMBA, reason="numba not installed")
+class TestBitForBit:
+    """Jitted output must equal the NumPy fallback path exactly."""
+
+    def test_epan_cdf_bit_for_bit(self, monkeypatch):
+        monkeypatch.setenv(ACCEL_ENV, "numba")
+        x, sample, inv_h, lo, hi = _windows(seed=3)
+        jitted = epan_cdf_window_sums(x, sample, inv_h, lo, hi)
+        reference = np.empty(x.shape)
+        _epan_cdf_sums_py(x, sample, inv_h, lo, hi, reference)
+        np.testing.assert_array_equal(jitted, reference)
+
+    @pytest.mark.parametrize("order", [0, 1, 2, 3, 4])
+    def test_gauss_derivatives_bit_for_bit(self, monkeypatch, order):
+        monkeypatch.setenv(ACCEL_ENV, "numba")
+        x, sample, inv_g, lo, hi = _windows(seed=4, h=1.0)
+        jitted = gaussian_derivative_window_sums(x, sample, inv_g, order, lo, hi)
+        reference = np.empty(x.shape)
+        _gauss_deriv_sums_py(x, sample, inv_g, order, lo, hi, reference)
+        np.testing.assert_array_equal(jitted, reference)
+
+    def test_estimator_results_identical_across_modes(self, monkeypatch):
+        from repro.core.kernel import KernelSelectivityEstimator
+
+        rng = np.random.default_rng(5)
+        sample = rng.uniform(0.0, 1.0, 2_000)
+        a = rng.uniform(-0.1, 1.0, 200)
+        b = a + rng.uniform(0.0, 0.2, 200)
+        monkeypatch.setenv(ACCEL_ENV, "none")
+        est = KernelSelectivityEstimator(
+            sample, 0.01, kernel="epanechnikov", use_moments=False
+        )
+        plain = est.selectivities(a, b)
+        monkeypatch.setenv(ACCEL_ENV, "numba")
+        jitted = est.selectivities(a, b)
+        np.testing.assert_array_equal(plain, jitted)

@@ -85,3 +85,58 @@ class TestRoughness:
     def test_grid_needs_two_points(self, normal_sample):
         with pytest.raises(InvalidSampleError):
             KernelDensity(normal_sample, 0.3).grid(1)
+
+
+class TestBinnedEvaluation:
+    """The linear-binned convolution path: accuracy on uniform grids,
+    strict fallback to the exact windowed path everywhere else."""
+
+    def test_binned_matches_windowed_on_uniform_grid(self, normal_sample):
+        kde = KernelDensity(normal_sample, 0.3)
+        grid = np.linspace(-3.0, 3.0, 512)
+        for order in (0, 1, 2):
+            exact = kde.derivative(grid, order)
+            binned = kde.derivative(grid, order, binned=True)
+            scale = np.max(np.abs(exact))
+            np.testing.assert_allclose(binned / scale, exact / scale, atol=2e-3)
+
+    def test_multi_order_stack_shares_one_pass(self, normal_sample):
+        kde = KernelDensity(normal_sample, 0.3)
+        grid = np.linspace(-3.0, 3.0, 256)
+        stack = kde.derivatives(grid, (0, 1, 2), binned=True)
+        assert sorted(stack) == [0, 1, 2]
+        for order, row in stack.items():
+            assert row.shape == grid.shape
+            np.testing.assert_array_equal(row, kde.derivative(grid, order, binned=True))
+
+    def test_non_uniform_grid_falls_back_to_exact(self, normal_sample):
+        kde = KernelDensity(normal_sample, 0.3)
+        grid = np.sort(np.random.default_rng(1).uniform(-3.0, 3.0, 200))
+        np.testing.assert_array_equal(
+            kde.derivative(grid, 0, binned=True), kde.derivative(grid, 0)
+        )
+
+    def test_too_coarse_ratio_falls_back_to_exact(self, normal_sample):
+        from repro.core.kernel.density import BINNED_MIN_RATIO
+
+        kde = KernelDensity(normal_sample, 0.05)
+        # step/g far above 1/BINNED_MIN_RATIO: binning would be lossy.
+        grid = np.linspace(-3.0, 3.0, 32)
+        step = grid[1] - grid[0]
+        assert 0.05 < BINNED_MIN_RATIO * step
+        np.testing.assert_array_equal(
+            kde.derivative(grid, 0, binned=True), kde.derivative(grid, 0)
+        )
+
+    def test_descending_grid_falls_back_to_exact(self, normal_sample):
+        kde = KernelDensity(normal_sample, 0.3)
+        grid = np.linspace(3.0, -3.0, 128)
+        np.testing.assert_array_equal(
+            kde.derivative(grid, 0, binned=True), kde.derivative(grid, 0)
+        )
+
+    def test_roughness_binned_default_close_to_exact(self, normal_sample):
+        kde = KernelDensity(normal_sample, 0.3)
+        binned = kde.roughness(2)  # binned is the default now
+        exact = kde.roughness(2, binned=False)
+        assert binned == pytest.approx(exact, rel=1e-2)

@@ -60,6 +60,73 @@ class TestConstruction:
         assert len(est.bins) == 1
 
 
+class TestBinningRule:
+    """One binning rule everywhere: merge counts, per-bin samples and
+    the flat layout must agree on edge-coincident samples (they used
+    to disagree — np.histogram closes interior right edges, the
+    per-bin masks were half-open — double-counting/dropping samples
+    exactly on a change point)."""
+
+    def test_edge_coincident_samples_counted_once(self, domain):
+        rng = np.random.default_rng(4)
+        sample = np.concatenate(
+            [
+                rng.uniform(0, 5, 600),
+                rng.uniform(5, 10, 600),
+                np.full(300, 5.0),  # a heavy atom exactly on the step
+            ]
+        )
+        est = HybridEstimator(sample, domain)
+        # Every sample lands in exactly one bin: weights sum to one
+        # and per-bin counts add up to the sample size.
+        counts = est.bin_weights * est.sample_size
+        assert counts.sum() == pytest.approx(est.sample_size)
+        assert est.selectivity(domain.low, domain.high) == pytest.approx(1.0, abs=1e-9)
+
+    def test_domain_max_sample_kept(self, domain):
+        rng = np.random.default_rng(5)
+        sample = np.concatenate(
+            [rng.uniform(0, 5, 1_500), rng.uniform(5, 10, 1_500), [10.0] * 8]
+        )
+        est = HybridEstimator(sample, domain)
+        assert (est.bin_weights * est.sample_size).sum() == pytest.approx(
+            est.sample_size
+        )
+
+    def test_tiny_post_merge_bin_falls_back_to_uniform(self, domain):
+        """min_bin_fraction can still leave a bin whose samples are all
+        duplicates; the bandwidth rule then degenerates and the bin
+        must fall back to the uniform estimator, not divide by zero."""
+        sample = np.concatenate(
+            [
+                np.full(1_500, 2.0),  # zero-scale bin: bandwidth 0/NaN
+                np.random.default_rng(6).uniform(5.0, 10.0, 1_500),
+            ]
+        )
+        est = HybridEstimator(sample, domain)
+        out = est.selectivities(np.array([0.0, 1.9, 4.9]), np.array([10.0, 2.1, 10.0]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_nan_bandwidth_rule_guarded(self, domain):
+        rng = np.random.default_rng(7)
+        sample = rng.uniform(0, 10, 2_000)
+        est = HybridEstimator(
+            sample, domain, bandwidth_rule=lambda values: float("nan")
+        )
+        out = est.selectivities(np.array([0.0, 2.5]), np.array([10.0, 7.5]))
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(1.0, abs=1e-9)
+        assert out[1] == pytest.approx(0.5, abs=0.05)
+
+    def test_zero_bandwidth_rule_guarded(self, domain):
+        rng = np.random.default_rng(8)
+        sample = rng.uniform(0, 10, 2_000)
+        est = HybridEstimator(sample, domain, bandwidth_rule=lambda values: 0.0)
+        out = est.selectivities(np.array([0.0]), np.array([10.0]))
+        assert np.isfinite(out[0]) and out[0] == pytest.approx(1.0, abs=1e-9)
+
+
 class TestSelectivity:
     def test_mass_conserved(self, step_sample, domain):
         est = HybridEstimator(step_sample, domain)

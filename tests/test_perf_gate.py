@@ -1,0 +1,194 @@
+"""Unit tests for the perf-regression gate (benchmarks/perf_gate.py).
+
+The gate is a standalone script (no package imports, so CI can run it
+without PYTHONPATH); it is loaded here by file path.  The behaviors
+under test are the two historical bugs: ratio/rate entries being
+compared as if they were latencies (a speedup *gain* read as a
+regression once they stopped being skipped), and ``rounds: 1``
+wall-clock entries gated at the stable-median threshold (pure noise).
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_GATE_PATH = pathlib.Path(__file__).parent.parent / "benchmarks" / "perf_gate.py"
+_SPEC = importlib.util.spec_from_file_location("perf_gate", _GATE_PATH)
+perf_gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(perf_gate)
+
+
+def _export(benchmarks):
+    return {"schema": perf_gate.BENCH_SCHEMA, "benchmarks": benchmarks}
+
+
+def _write(tmp_path, name, benchmarks):
+    path = tmp_path / name
+    path.write_text(json.dumps(_export(benchmarks)))
+    return path
+
+
+STABLE = perf_gate.MIN_STABLE_ROUNDS
+
+
+class TestEntryKind:
+    def test_explicit_kind_wins(self):
+        assert perf_gate.entry_kind("anything", {"kind": "rate"}) == "rate"
+
+    def test_legacy_x_suffix_infers_ratio(self):
+        assert perf_gate.entry_kind("perf.speedup_x", {}) == "ratio"
+
+    def test_default_is_timing(self):
+        assert perf_gate.entry_kind("perf.build", {}) == "timing"
+
+    def test_unknown_kind_falls_back_to_inference(self):
+        assert perf_gate.entry_kind("perf.build", {"kind": "nonsense"}) == "timing"
+
+
+class TestEntryDirection:
+    def test_timing_prefers_lower(self):
+        assert perf_gate.entry_direction("perf.build", {"kind": "timing"}) == "lower"
+
+    def test_ratio_prefers_higher(self):
+        assert perf_gate.entry_direction("perf.speedup_x", {"kind": "ratio"}) == "higher"
+
+    def test_explicit_better_overrides_kind(self):
+        entry = {"kind": "ratio", "better": "lower"}
+        assert perf_gate.entry_direction("perf.overhead_x", entry) == "lower"
+
+
+class TestDirectionAwareCompare:
+    def test_timing_growth_regresses(self):
+        base = {"perf.a": {"median_s": 0.010, "rounds": STABLE, "kind": "timing"}}
+        curr = {"perf.a": {"median_s": 0.020, "rounds": STABLE, "kind": "timing"}}
+        assert len(perf_gate.compare(base, curr, (), 1.25)) == 1
+
+    def test_ratio_growth_is_improvement(self):
+        """The original bug: a bigger speedup must never fail the gate."""
+        base = {
+            "perf.speedup_x": {"value": 10.0, "rounds": STABLE, "kind": "ratio"}
+        }
+        curr = {
+            "perf.speedup_x": {"value": 40.0, "rounds": STABLE, "kind": "ratio"}
+        }
+        assert perf_gate.compare(base, curr, (), 1.25) == []
+
+    def test_ratio_collapse_regresses(self):
+        base = {
+            "perf.speedup_x": {"value": 40.0, "rounds": STABLE, "kind": "ratio"}
+        }
+        curr = {
+            "perf.speedup_x": {"value": 10.0, "rounds": STABLE, "kind": "ratio"}
+        }
+        regressions = perf_gate.compare(base, curr, (), 1.25)
+        assert [row[0] for row in regressions] == ["perf.speedup_x"]
+
+    def test_rate_collapse_regresses(self):
+        base = {"perf.qps_x": {"value": 50_000.0, "rounds": STABLE, "kind": "rate"}}
+        curr = {"perf.qps_x": {"value": 20_000.0, "rounds": STABLE, "kind": "rate"}}
+        assert len(perf_gate.compare(base, curr, (), 1.25)) == 1
+
+    def test_legacy_ratio_under_mean_s_still_compares(self):
+        """Pre-migration baselines stored ratios under mean_s; the new
+        export stores them under value.  Both sides must resolve."""
+        base = {"perf.speedup_x": {"mean_s": 12.0, "rounds": 1}}
+        curr = {
+            "perf.speedup_x": {"value": 2.0, "rounds": 1, "kind": "ratio"}
+        }
+        regressions = perf_gate.compare(base, curr, (), 1.25, noisy_threshold=2.0)
+        assert len(regressions) == 1  # 12 -> 2 is a 6x collapse
+
+    def test_better_lower_ratio_growth_regresses(self):
+        base = {
+            "perf.overhead_x": {
+                "value": 1.0, "rounds": STABLE, "kind": "ratio", "better": "lower",
+            }
+        }
+        curr = {
+            "perf.overhead_x": {
+                "value": 1.6, "rounds": STABLE, "kind": "ratio", "better": "lower",
+            }
+        }
+        assert len(perf_gate.compare(base, curr, (), 1.25)) == 1
+
+
+class TestNoisyRounds:
+    def test_single_round_gets_wide_threshold(self):
+        base = {"perf.a": {"mean_s": 0.010, "rounds": 1}}
+        curr = {"perf.a": {"mean_s": 0.016, "rounds": 1}}  # 1.6x: noise
+        assert perf_gate.compare(base, curr, (), 1.25, noisy_threshold=2.0) == []
+
+    def test_single_round_still_fails_past_wide_threshold(self):
+        base = {"perf.a": {"mean_s": 0.010, "rounds": 1}}
+        curr = {"perf.a": {"mean_s": 0.025, "rounds": 1}}
+        assert len(perf_gate.compare(base, curr, (), 1.25, noisy_threshold=2.0)) == 1
+
+    def test_either_side_low_rounds_is_noisy(self):
+        base = {"perf.a": {"median_s": 0.010, "rounds": 100}}
+        curr = {"perf.a": {"mean_s": 0.016, "rounds": 1}}
+        assert perf_gate.compare(base, curr, (), 1.25, noisy_threshold=2.0) == []
+
+    def test_stable_rounds_use_tight_threshold(self):
+        base = {"perf.a": {"median_s": 0.010, "rounds": STABLE}}
+        curr = {"perf.a": {"median_s": 0.016, "rounds": STABLE}}
+        assert len(perf_gate.compare(base, curr, (), 1.25, noisy_threshold=2.0)) == 1
+
+
+class TestMainExitCodes:
+    def test_green_run(self, tmp_path, capsys):
+        base = _write(
+            tmp_path, "base.json",
+            {"perf.a": {"median_s": 0.01, "rounds": STABLE, "kind": "timing"}},
+        )
+        curr = _write(
+            tmp_path, "curr.json",
+            {"perf.a": {"median_s": 0.009, "rounds": STABLE, "kind": "timing"}},
+        )
+        assert perf_gate.main([str(base), str(curr)]) == 0
+
+    def test_regression_fails(self, tmp_path):
+        base = _write(
+            tmp_path, "base.json",
+            {"perf.a": {"median_s": 0.01, "rounds": STABLE, "kind": "timing"}},
+        )
+        curr = _write(
+            tmp_path, "curr.json",
+            {"perf.a": {"median_s": 0.10, "rounds": STABLE, "kind": "timing"}},
+        )
+        assert perf_gate.main([str(base), str(curr)]) == 1
+
+    def test_baseline_update_reports_only(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF_BASELINE_UPDATE", "1")
+        base = _write(
+            tmp_path, "base.json",
+            {"perf.a": {"median_s": 0.01, "rounds": STABLE, "kind": "timing"}},
+        )
+        curr = _write(
+            tmp_path, "curr.json",
+            {"perf.a": {"median_s": 0.10, "rounds": STABLE, "kind": "timing"}},
+        )
+        assert perf_gate.main([str(base), str(curr)]) == 0
+
+    def test_overhead_pair_gates_flat_vs_legacy(self, tmp_path):
+        benchmarks = {
+            "perf_query_batch.hybrid_legacy": {
+                "median_s": 0.003, "rounds": 100, "kind": "timing",
+            },
+            "perf_query_batch.hybrid_flat": {
+                "median_s": 0.004, "rounds": 100, "kind": "timing",
+            },
+        }
+        base = _write(tmp_path, "base.json", benchmarks)
+        curr = _write(tmp_path, "curr.json", benchmarks)
+        # flat slower than legacy: the 1.0 cap must fail the build.
+        status = perf_gate.main(
+            [
+                str(base), str(curr),
+                "--overhead",
+                "perf_query_batch.hybrid_legacy:perf_query_batch.hybrid_flat",
+                "--max-overhead", "1.0",
+            ]
+        )
+        assert status == 1

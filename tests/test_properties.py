@@ -165,12 +165,32 @@ class TestDensityEstimatorInvariants:
         grid = np.linspace(-5.0, 105.0, 111)
         assert (est.density(grid) >= -1e-12).all()
 
+    @staticmethod
+    def _integration_grid(sample: np.ndarray) -> np.ndarray:
+        """Coarse global grid plus geometric refinement at the spikes.
+
+        Near-duplicate samples drive the bandwidth rule toward zero, so
+        kernel densities can carry legitimate spikes far narrower than
+        any fixed uniform grid step; a plain ``linspace`` trapezoid
+        then overestimates the mass by several percent (observed 1.057
+        on a 16-point sample with 15 duplicates).  Refining
+        geometrically around every sample value and both domain edges
+        resolves spikes of any bandwidth down to ~1e-12.
+        """
+        coarse = np.linspace(-20.0, 120.0, 8_001)
+        offsets = np.geomspace(1e-12, 4.0, 480)
+        offsets = np.concatenate((-offsets[::-1], [0.0], offsets))
+        centers = np.unique(np.concatenate((sample, [0.0, 100.0])))
+        local = (centers[:, None] + offsets[None, :]).ravel()
+        grid = np.unique(np.concatenate((coarse, local)))
+        return grid[(grid >= -20.0) & (grid <= 120.0)]
+
     @pytest.mark.parametrize("kind", SMOOTH_KINDS)
     @given(sample=samples)
     @settings(max_examples=8, deadline=None)
     def test_density_integrates_to_at_most_one(self, kind, sample):
         est = _build(kind, sample)
-        grid = np.linspace(-20.0, 120.0, 8_001)
+        grid = self._integration_grid(sample)
         mass = np.trapezoid(est.density(grid), grid)
         # Hybrid bins renormalize their boundary-kernel mass to exactly
         # 1, so the only legitimate excess left is the discretization

@@ -380,6 +380,96 @@ class TestBenchmarkExporter:
         exporter.export(path)
         assert json.loads(path.read_text())["benchmarks"]["g.n"]["mean_s"] == 2.0
 
+    def test_entries_are_typed(self):
+        exporter = BenchmarkExporter()
+        exporter.record("g", "timed", self._Stats())
+        exporter.record_seconds("g", "single", 0.25)
+        entries = exporter.entries
+        for name in ("g.timed", "g.single"):
+            assert entries[name]["kind"] == "timing"
+            assert entries[name]["unit"] == "seconds"
+
+    def test_record_value_for_ratios_and_rates(self):
+        exporter = BenchmarkExporter()
+        exporter.record_value("g", "speedup_x", 12.5, kind="ratio", unit="x")
+        exporter.record_value(
+            "g", "qps_x", 48_000.0, kind="rate", unit="per_second"
+        )
+        entries = exporter.entries
+        assert entries["g.speedup_x"] == {
+            "value": 12.5, "rounds": 1, "kind": "ratio", "unit": "x",
+        }
+        assert entries["g.qps_x"]["kind"] == "rate"
+        # Dimensioned entries must NOT masquerade as seconds.
+        assert "mean_s" not in entries["g.speedup_x"]
+
+    def test_record_value_direction_override(self):
+        exporter = BenchmarkExporter()
+        exporter.record_value(
+            "g", "overhead_x", 1.04, kind="ratio", unit="x", better="lower"
+        )
+        assert exporter.entries["g.overhead_x"]["better"] == "lower"
+
+    def test_record_value_rejects_bad_kind_and_direction(self):
+        exporter = BenchmarkExporter()
+        with pytest.raises(ValueError):
+            exporter.record_value("g", "n", 1.0, kind="latency", unit="s")
+        with pytest.raises(ValueError):
+            exporter.record_value(
+                "g", "n", 1.0, kind="ratio", unit="x", better="sideways"
+            )
+
+    def test_entry_kind_inference(self):
+        from repro.telemetry import entry_direction, entry_kind
+
+        assert entry_kind("perf.speedup_x", {}) == "ratio"
+        assert entry_kind("perf.build", {}) == "timing"
+        assert entry_kind("perf.build", {"kind": "rate"}) == "rate"
+        assert entry_direction("perf.speedup_x", {}) == "higher"
+        assert entry_direction("perf.build", {}) == "lower"
+        assert entry_direction("x", {"kind": "ratio", "better": "lower"}) == "lower"
+
+    def test_bench_exposition_units(self):
+        from repro.telemetry import bench_exposition
+
+        text = bench_exposition(
+            {
+                "perf_batch.kernel_100": {
+                    "median_s": 0.0003, "kind": "timing", "unit": "seconds",
+                },
+                "perf_batch.speedup_10000_x": {
+                    "value": 22.0, "kind": "ratio", "unit": "x",
+                },
+                "perf_serving.qps_sustained_x": {
+                    "value": 48_000.0, "kind": "rate", "unit": "per_second",
+                },
+                # Legacy mislabeled ratio: renders with the honest unit.
+                "perf_telemetry.overhead_x": {"mean_s": 1.06, "rounds": 1},
+            }
+        )
+        assert "repro_bench_perf_batch_kernel_100_seconds 0.0003" in text
+        assert "repro_bench_perf_batch_speedup_10000_x_ratio 22.0" in text
+        assert "repro_bench_perf_serving_qps_sustained_x_per_second 48000.0" in text
+        assert "repro_bench_perf_telemetry_overhead_x_ratio 1.06" in text
+        assert "_x_seconds" not in text
+        assert text.endswith("# EOF\n")
+
+    def test_bench_exposition_accepts_whole_perf_file(self):
+        """The natural `json.load(BENCH_perf.json)` shape must render too."""
+        from repro.telemetry import bench_exposition
+
+        wrapped = {
+            "schema": "repro.telemetry.bench/v1",
+            "updated_unix": 1_700_000_000,
+            "benchmarks": {
+                "perf_batch.kernel_100": {
+                    "median_s": 0.0003, "kind": "timing", "unit": "seconds",
+                },
+            },
+        }
+        text = bench_exposition(wrapped)
+        assert "repro_bench_perf_batch_kernel_100_seconds 0.0003" in text
+
 
 class TestPlannerTelemetry:
     @pytest.fixture()

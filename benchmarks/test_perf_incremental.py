@@ -1,0 +1,90 @@
+"""Perf: incremental statistics refresh vs a full ANALYZE rebuild.
+
+The point of the mergeable-summary lifecycle (docs/STREAMING.md) is
+that absorbing a mutation batch costs O(delta + reservoir) instead of
+the O(table) rescan a full ANALYZE pays.  This module times both paths
+over the same mutated table so the perf gate can fail CI whenever the
+incremental path stops being at least 5x cheaper
+(``--overhead perf_refresh.full_rebuild:perf_refresh.incremental``
+with a cap of 0.2 — the loaded/base ratio reads as "incremental must
+cost at most 20% of a rebuild").
+
+Both timed paths run against a fork of the same analyzed catalog, and
+the full rebuild passes a ``Generator`` seed so it can never hit the
+process-wide ANALYZE cache (a cached rebuild would be artificially
+free and poison the ratio).
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.domain import Interval
+from repro.db import Catalog, Table
+
+DOMAIN = Interval(0.0, 1_000_000.0)
+N_ROWS = 200_000
+N_DELTA = 2_000
+FAMILY = "equi-depth"
+SAMPLE_SIZE = 2_000
+
+
+def _mutated_fixture():
+    """A large analyzed table with one small unabsorbed delta batch."""
+    rng = np.random.default_rng(0)
+    base = np.clip(rng.normal(400_000.0, 120_000.0, N_ROWS), DOMAIN.low, DOMAIN.high)
+    table = Table("events", {"x": (base, DOMAIN)})
+    catalog = Catalog(family=FAMILY, sample_size=SAMPLE_SIZE)
+    catalog.analyze(table, seed=3)
+    delta = np.clip(
+        np.random.default_rng(1).normal(800_000.0, 40_000.0, N_DELTA),
+        DOMAIN.low,
+        DOMAIN.high,
+    )
+    table.append({"x": delta})
+    return table, catalog
+
+
+@pytest.fixture(scope="module")
+def mutated():
+    return _mutated_fixture()
+
+
+def test_perf_refresh_incremental(benchmark, mutated, perf_export):
+    table, catalog = mutated
+
+    def refresh_once():
+        return catalog.fork().refresh(table)
+
+    mode = benchmark(refresh_once)
+    assert mode == "incremental"
+    perf_export.record("perf_refresh", "incremental", benchmark.stats.stats)
+
+
+def test_perf_refresh_full_rebuild(benchmark, mutated, perf_export):
+    table, catalog = mutated
+
+    def rebuild_once():
+        fork = catalog.fork()
+        # Generator seed: reproducible, but never statistics-cache
+        # keyed — every round pays the honest O(table) rescan.
+        fork.analyze(table, seed=np.random.default_rng(3))
+        return fork
+
+    rebuilt = benchmark(rebuild_once)
+    assert rebuilt.has_statistics("events")
+    perf_export.record("perf_refresh", "full_rebuild", benchmark.stats.stats)
+
+
+def test_incremental_matches_full_rebuild(mutated):
+    """The timed paths must agree on the estimates — speed without drift."""
+    table, catalog = mutated
+    incremental = catalog.fork()
+    assert incremental.refresh(table) == "incremental"
+    full = catalog.fork()
+    full.analyze(table, seed=np.random.default_rng(3))
+    inc_stat = incremental.column_statistic("events", "x")
+    full_stat = full.column_statistic("events", "x")
+    for a in np.linspace(50_000.0, 900_000.0, 9):
+        assert inc_stat.selectivity(a, a + 80_000.0) == pytest.approx(
+            full_stat.selectivity(a, a + 80_000.0), abs=0.02
+        )

@@ -13,6 +13,7 @@ from repro.analysis.rules.frozen import FrozenAfterBuildRule
 from repro.analysis.rules.numeric_safety import NumericSafetyRule
 from repro.analysis.rules.seeded_rng import SeededRngRule
 from repro.analysis.rules.serving_errors import ServingErrorsRule
+from repro.analysis.rules.summary_mutability import SummaryMutabilityRule
 from repro.analysis.rules.telemetry_names import TelemetryNamingRule
 from repro.analysis.rules.thread_safety import ThreadSafetyRule
 
@@ -24,6 +25,7 @@ ALL_RULES: tuple[Rule, ...] = (
     NumericSafetyRule(),
     ThreadSafetyRule(),
     ServingErrorsRule(),
+    SummaryMutabilityRule(),
 )
 
 RULES_BY_NAME: dict[str, Rule] = {rule.name: rule for rule in ALL_RULES}
@@ -36,6 +38,7 @@ __all__ = [
     "NumericSafetyRule",
     "SeededRngRule",
     "ServingErrorsRule",
+    "SummaryMutabilityRule",
     "TelemetryNamingRule",
     "ThreadSafetyRule",
 ]

@@ -1,0 +1,171 @@
+"""Rule ``summary-mutability``: summaries mutate, estimators never do.
+
+The incremental-ANALYZE lifecycle (docs/STREAMING.md) splits statistics
+into exactly two kinds of object:
+
+* **Live summaries** (``*Summary`` classes with mutators) absorb
+  appends/deletes and merge with partial summaries.  A class that opts
+  into mutation must implement the *whole* lifecycle — ``update``,
+  ``delete``, ``merge`` and ``freeze`` — because the catalog's refresh
+  path assumes any mergeable summary can also replay deletions and be
+  frozen into estimator inputs.  A half-lifecycle summary silently
+  downgrades every refresh to a full rebuild.
+* **Frozen artifacts** (``Frozen*Summary`` classes and everything in
+  the estimator hierarchy) are immutable snapshots shared across
+  threads and serving snapshots.  A ``Frozen*Summary`` must be a
+  ``@dataclass(frozen=True)`` and must not assign to ``self`` outside
+  ``__init__``/``__post_init__``; an estimator-hierarchy class must
+  not grow ``update``/``delete``/``merge`` methods at all — incremental
+  maintenance belongs in the summary layer, with the estimator rebuilt
+  from the re-frozen summary (see ``frozen-after-build``).
+
+Plain frozen dataclasses that merely *end* in ``Summary`` without
+mutators (e.g. telemetry's ``ValueSummary``) are untouched: the rule
+keys off the lifecycle methods, not the name alone.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding, ModuleInfo, finding
+from repro.analysis.project import ProjectIndex
+
+#: Methods that mark a class as a *live* (mutable) summary.
+_MUTATORS = ("update", "delete", "merge")
+
+#: The full lifecycle every live summary must implement.
+_LIFECYCLE = ("update", "delete", "merge", "freeze")
+
+#: Methods allowed to assign to ``self`` inside a ``Frozen*Summary``
+#: (frozen dataclasses use ``object.__setattr__`` anyway, but a plain
+#: ``self.x = ...`` in construction code is tolerable there).
+_FROZEN_CONSTRUCTION = frozenset({"__init__", "__post_init__"})
+
+
+def _is_frozen_dataclass(cls: ast.ClassDef) -> bool:
+    """Whether the class carries ``@dataclass(frozen=True)``."""
+    for decorator in cls.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if (
+                keyword.arg == "frozen"
+                and isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is True
+            ):
+                return True
+    return False
+
+
+def _method_names(cls: ast.ClassDef) -> set[str]:
+    return {
+        node.name
+        for node in cls.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _self_writes(
+    method: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.Attribute]:
+    for node in ast.walk(method):
+        targets: list[ast.AST] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            for attr in ast.walk(target):
+                if (
+                    isinstance(attr, ast.Attribute)
+                    and isinstance(attr.value, ast.Name)
+                    and attr.value.id == "self"
+                ):
+                    yield attr
+
+
+class SummaryMutabilityRule:
+    name = "summary-mutability"
+    description = (
+        "live summaries implement the full update/delete/merge/freeze "
+        "lifecycle; Frozen*Summary classes and estimators stay immutable"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectIndex) -> Iterator[Finding]:
+        for cls in ast.walk(module.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            methods = _method_names(cls)
+            if project.is_estimator_class(cls):
+                yield from self._check_estimator(module, cls, methods)
+                continue
+            if cls.name.startswith("Frozen") and cls.name.endswith("Summary"):
+                yield from self._check_frozen(module, cls)
+            elif cls.name.endswith("Summary") and any(
+                mutator in methods for mutator in _MUTATORS
+            ):
+                yield from self._check_live(module, cls, methods)
+
+    def _check_estimator(
+        self, module: ModuleInfo, cls: ast.ClassDef, methods: set[str]
+    ) -> Iterator[Finding]:
+        for mutator in _MUTATORS:
+            if mutator in methods:
+                yield finding(
+                    module,
+                    cls,
+                    self.name,
+                    f"estimator {cls.name} defines {mutator}(); estimators are "
+                    "frozen-after-build — incremental maintenance belongs in a "
+                    "ColumnSummary, with the estimator rebuilt from freeze()",
+                )
+
+    def _check_frozen(
+        self, module: ModuleInfo, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        if not _is_frozen_dataclass(cls):
+            yield finding(
+                module,
+                cls,
+                self.name,
+                f"{cls.name} is named Frozen* but is not a "
+                "@dataclass(frozen=True); frozen summaries are shared across "
+                "serving snapshots and must be structurally immutable",
+            )
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if method.name in _FROZEN_CONSTRUCTION:
+                continue
+            for attr in _self_writes(method):
+                yield finding(
+                    module,
+                    attr,
+                    self.name,
+                    f"{cls.name}.{method.name} writes self.{attr.attr}; a "
+                    "Frozen*Summary never mutates after construction — derive "
+                    "the value in a property or build a new instance",
+                )
+
+    def _check_live(
+        self, module: ModuleInfo, cls: ast.ClassDef, methods: set[str]
+    ) -> Iterator[Finding]:
+        missing = [stage for stage in _LIFECYCLE if stage not in methods]
+        if missing:
+            yield finding(
+                module,
+                cls,
+                self.name,
+                f"live summary {cls.name} defines a mutator but lacks "
+                f"{', '.join(missing)}(); partial lifecycles silently force "
+                "full rebuilds — implement update/delete/merge/freeze or "
+                "rename the class out of the *Summary convention",
+            )

@@ -16,6 +16,9 @@ Subpackages
     The paper's new hybrid histogram-kernel estimator (paper §3.3).
 ``repro.core.changepoints``
     Second-derivative change-point detection used by the hybrid.
+``repro.core.summary``
+    Mergeable, versioned column summaries — the incremental-ANALYZE
+    substrate every estimator family can be rebuilt from.
 """
 
 from repro.core.base import (
@@ -25,10 +28,13 @@ from repro.core.base import (
     InvalidSampleError,
     SelectivityEstimator,
 )
+from repro.core.summary import ColumnSummary, FrozenSummary
 
 __all__ = [
+    "ColumnSummary",
     "DensityEstimator",
     "EstimatorError",
+    "FrozenSummary",
     "InvalidQueryError",
     "InvalidSampleError",
     "SelectivityEstimator",

@@ -44,9 +44,11 @@ from repro.core.hybrid_flat import (
 )
 from repro.core.kernel.boundary import make_kernel_estimator
 from repro.data.domain import Interval
+from repro.telemetry.runtime import get_telemetry
 
 if TYPE_CHECKING:
     from repro.core.kernel.estimator import KernelSelectivityEstimator
+    from repro.core.summary import FrozenSummary
 
 #: Bins with fewer samples than this cannot support a kernel estimate
 #: and fall back to the uniform-within-bin assumption.
@@ -132,6 +134,7 @@ class HybridEstimator(DensityEstimator):
 
         self._domain = domain
         self._n = int(values.size)
+        self._boundary = boundary
         self._edges = edges
         self._bins: list[Interval] = domain.subdivide(edges[1:-1])
         self._weights: list[float] = []
@@ -163,6 +166,11 @@ class HybridEstimator(DensityEstimator):
                 is_kernel,
                 np.asarray(bandwidths, dtype=np.float64),
             )
+
+    @classmethod
+    def from_summary(cls, summary: "FrozenSummary", **kwargs: object) -> "HybridEstimator":
+        """Build from a frozen column summary (see ``repro.core.summary``)."""
+        return cls(summary.sample, summary.domain, **kwargs)
 
     @staticmethod
     def _bin_values(values: np.ndarray, interval: Interval, domain: Interval) -> np.ndarray:
@@ -314,6 +322,7 @@ class HybridEstimator(DensityEstimator):
         if self._flat is not None:
             total = flat_selectivities(self._flat, flat_a, flat_b)
         else:
+            self._count_fallback()
             total = self._selectivities_loop(flat_a, flat_b)
         return np.clip(total, 0.0, 1.0).reshape(shape)
 
@@ -352,7 +361,23 @@ class HybridEstimator(DensityEstimator):
         x = np.atleast_1d(np.asarray(x, dtype=np.float64))
         if self._flat is not None:
             return flat_density(self._flat, x.ravel()).reshape(x.shape)
+        self._count_fallback()
         return self._density_loop(x)
+
+    def _count_fallback(self) -> None:
+        """Tally a serve on the per-bin loop (no flat layout built).
+
+        The flat fast path only covers the ``"kernel"`` boundary
+        policy; any other policy (reflection, none) serves through the
+        per-bin Python loop.  That slow path is intentional but must be
+        visible: every hit increments ``hybrid.fallback.<boundary>``
+        so dashboards can see when production traffic lands on it.
+        The explicit ``*_reference`` methods are exempt — tests call
+        those on purpose.
+        """
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.inc(f"hybrid.fallback.{self._boundary}")
 
     def density_reference(self, x: np.ndarray) -> np.ndarray:
         """Per-bin reference implementation of :meth:`density`."""

@@ -6,18 +6,35 @@ every query).  :class:`Catalog` does the same: ``analyze(table)``
 draws one row-aligned sample and builds a selectivity estimator per
 column — any family from :mod:`repro.estimators` — plus optional
 joint 2-D statistics for declared column pairs.
+
+ANALYZE is **delta-aware**: alongside the estimators it maintains one
+mergeable :class:`~repro.core.summary.ColumnSummary` per column.
+:meth:`Catalog.refresh` replays the table's mutation deltas into those
+summaries (appends become partial summaries merged in, deletes are
+subtracted), re-freezes, and rebuilds the estimators from the frozen
+summaries — O(delta + reservoir) instead of the O(n) rescan — falling
+back to a full rebuild once the changed-row fraction exceeds the
+staleness budget, the delta log was compacted, deletions outran the
+reservoir, or joint statistics are involved.
+:meth:`Catalog.maintain` drives the policy: the drift monitor's KS
+readings and the table's statistics-version lag decide which tables
+get refreshed, so only drifted tables pay for a rebuild.
 """
 
 from __future__ import annotations
 
+import zlib
+
 import numpy as np
 
 from repro import estimators
-from repro.core.base import InvalidQueryError, SelectivityEstimator
+from repro.core.base import InvalidQueryError, InvalidSampleError, SelectivityEstimator
+from repro.core.summary import ColumnSummary, FrozenSummary
 from repro.db.cache import MISS, LRUCache
-from repro.db.table import Table
+from repro.db.table import StaleDeltaLog, Table
 from repro.multidim import KernelEstimator2D, plugin_bandwidths_2d
 from repro.telemetry.drift import DriftMonitor, DriftReading, Staleness, StalenessMonitor
+from repro.telemetry.runtime import get_telemetry
 
 #: Estimator families ANALYZE can build, by name.
 FAMILIES = {
@@ -63,19 +80,40 @@ class Catalog:
         Rows scanned per ANALYZE (the paper's 2,000 by default).
     """
 
-    def __init__(self, family: str = "kernel", sample_size: int = 2_000) -> None:
+    def __init__(
+        self,
+        family: str = "kernel",
+        sample_size: int = 2_000,
+        staleness_budget: float = 0.5,
+    ) -> None:
         if family not in FAMILIES:
             raise InvalidQueryError(
                 f"unknown estimator family {family!r}; available: {', '.join(FAMILIES)}"
             )
         if sample_size < 2:
             raise InvalidQueryError(f"sample size must be >= 2, got {sample_size}")
+        if not 0.0 < staleness_budget <= 1.0:
+            raise InvalidQueryError(
+                f"staleness budget must be in (0, 1], got {staleness_budget}"
+            )
         self._family = family
         self._sample_size = sample_size
+        self._staleness_budget = staleness_budget
         self._column_stats: dict[tuple[str, str], SelectivityEstimator] = {}
         self._joint_stats: dict[tuple[str, str, str], KernelEstimator2D] = {}
         self._row_counts: dict[str, int] = {}
         self._version = 0
+        # Incremental-refresh state: live mergeable summaries per
+        # (table, column), the table statistics version they have
+        # absorbed, the row count at the last full rebuild and the
+        # rows changed since (the staleness-budget numerator), plus
+        # the ANALYZE parameters needed to repeat a full rebuild.
+        self._summaries: dict[tuple[str, str], ColumnSummary] = {}
+        self._applied: dict[str, int] = {}
+        self._base_rows: dict[str, int] = {}
+        self._changed_rows: dict[str, int] = {}
+        self._analyze_seeds: dict[str, "int | None"] = {}
+        self._joint_specs: dict[str, "list[tuple[str, str]]"] = {}
         # Serving-grade monitors: every ANALYZE stamps the staleness
         # monitor and (when it actually drew a sample) baselines the
         # drift monitor, so a long-lived catalog can report how old and
@@ -87,6 +125,21 @@ class Catalog:
     def family(self) -> str:
         """Estimator family ANALYZE builds."""
         return self._family
+
+    @property
+    def staleness_budget(self) -> float:
+        """Changed-row fraction beyond which refresh falls back to a rescan."""
+        return self._staleness_budget
+
+    @staticmethod
+    def _summary_seed(table_name: str, column: str) -> int:
+        """Deterministic reservoir seed per (table, column).
+
+        Derived by hashing the names, not from the ANALYZE sampling
+        seed, so summaries built by different catalogs (or serving
+        forks) over the same column are always mergeable.
+        """
+        return zlib.crc32(f"{table_name}|{column}".encode())
 
     def analyze(
         self,
@@ -163,6 +216,20 @@ class Catalog:
                 if key is not None:
                     _STATISTICS_CACHE.put(key, statistic)
             new_joints[(table.name, x, y)] = statistic
+        # Delta-aware substrate: rebuild the live mergeable summaries
+        # from the full columns (one vectorized O(n) pass each) so
+        # subsequent mutations can be folded in incrementally by
+        # refresh() instead of repeating this scan.
+        table_version = table.statistics_version
+        new_summaries: dict[tuple[str, str], ColumnSummary] = {}
+        for column in table.column_names:
+            summary = ColumnSummary(
+                table.domain(column),
+                seed=self._summary_seed(table.name, column),
+                capacity=n,
+            )
+            summary.update(table.column(column))
+            new_summaries[(table.name, column)] = summary
         # Atomic install: replace the table's statistics with one
         # reference swap per map (reads racing this see old-or-new,
         # never a mixture; nothing above mutated catalog state, so a
@@ -175,11 +242,25 @@ class Catalog:
             key: value for key, value in self._joint_stats.items() if key[0] != table.name
         }
         joint_stats.update(new_joints)
+        summaries = {
+            key: value for key, value in self._summaries.items() if key[0] != table.name
+        }
+        summaries.update(new_summaries)
         self._column_stats = column_stats
         self._joint_stats = joint_stats
+        self._summaries = summaries
         self._row_counts = {**self._row_counts, table.name: table.row_count}
+        self._applied = {**self._applied, table.name: table_version}
+        self._base_rows = {**self._base_rows, table.name: table.row_count}
+        self._changed_rows = {**self._changed_rows, table.name: 0}
+        self._analyze_seeds = {
+            **self._analyze_seeds,
+            table.name: seed if isinstance(seed, (int, np.integer)) else None,
+        }
+        self._joint_specs = {**self._joint_specs, table.name: list(joint or [])}
         self._version += 1
         self.staleness.on_analyze(table.name, self._version)
+        self._emit_version_gauge(table.name, table_version)
         # Drift baselines come from the sample this ANALYZE actually
         # drew.  A full statistics-cache hit never touches the table
         # (rows stays None); the existing baselines remain valid in
@@ -198,13 +279,200 @@ class Catalog:
         """
         return self._version
 
+    def refresh(self, table: Table, seed: "int | np.random.Generator | None" = None) -> str:
+        """Bring the table's statistics up to date; returns the mode used.
+
+        Modes:
+
+        ``"fresh"``
+            Nothing to do — the summaries already cover the table's
+            current statistics version.
+        ``"incremental"``
+            The mutation deltas since the last absorbed version were
+            merged into the live summaries (appends as partial-summary
+            merges, deletes as subtractions), the summaries re-frozen,
+            and the estimators rebuilt from the frozen summaries —
+            O(delta + reservoir), no table rescan.
+        ``"full"``
+            Fallback to a complete :meth:`analyze` rescan: first-ever
+            refresh, compacted delta log, changed-row fraction beyond
+            the staleness budget, deletions that outran the reservoir,
+            or declared joint statistics (which need row-aligned pairs
+            a per-column summary cannot provide).
+
+        ``seed`` is only needed for the full path; it defaults to the
+        seed recorded by the previous ``analyze``.
+        """
+        name = table.name
+        if seed is None:
+            seed = self._analyze_seeds.get(name)
+        applied = self._applied.get(name)
+        if not self.has_statistics(name) or applied is None:
+            return self._full_refresh(table, seed)
+        if applied == table.statistics_version:
+            self._emit_refresh("fresh")
+            return "fresh"
+        if self._joint_specs.get(name):
+            return self._full_refresh(table, seed)
+        try:
+            deltas = table.deltas_since(applied)
+        except (StaleDeltaLog, InvalidQueryError):
+            return self._full_refresh(table, seed)
+        changed = self._changed_rows.get(name, 0) + sum(d.row_count for d in deltas)
+        base = max(self._base_rows.get(name, table.row_count), 1)
+        if changed / base > self._staleness_budget:
+            return self._full_refresh(table, seed)
+        # Stage the new summaries and estimators fully before
+        # installing anything, same reference-swap discipline as
+        # analyze(): a failed build leaves the catalog untouched and
+        # readers never see a half-merged summary.
+        build = FAMILIES[self._family]
+        staged: dict[tuple[str, str], ColumnSummary] = {}
+        rebuilt: dict[tuple[str, str], SelectivityEstimator] = {}
+        frozen_by_column: dict[str, FrozenSummary] = {}
+        try:
+            for column in table.column_names:
+                live = self._summaries.get((name, column))
+                if live is None:
+                    return self._full_refresh(table, seed)
+                working = live.copy()
+                for delta in deltas:
+                    batch = delta.rows[column]
+                    if delta.kind == "append":
+                        partial = ColumnSummary(
+                            working.domain,
+                            seed=working.seed,
+                            capacity=working.capacity,
+                            grid_bins=working.grid_bins,
+                        )
+                        partial.update(batch)
+                        working = working.merge(partial)
+                    else:
+                        working.delete(batch)
+                frozen = working.freeze()
+                staged[(name, column)] = working
+                frozen_by_column[column] = frozen
+                rebuilt[(name, column)] = build(frozen, table.domain(column))
+        except InvalidSampleError:
+            # Degenerate summaries (e.g. deletions emptied a reservoir)
+            # cannot support a rebuild; rescan instead.
+            return self._full_refresh(table, seed)
+        self._column_stats = {**self._column_stats, **rebuilt}
+        self._summaries = {**self._summaries, **staged}
+        self._row_counts = {**self._row_counts, name: table.row_count}
+        self._applied = {**self._applied, name: table.statistics_version}
+        self._changed_rows = {**self._changed_rows, name: changed}
+        self._version += 1
+        self.staleness.on_analyze(name, self._version)
+        # Re-baseline drift on the refreshed summary samples: the new
+        # statistics now represent the mutated data, so KS must be
+        # measured against them, not the superseded ANALYZE sample.
+        for column, frozen in frozen_by_column.items():
+            self.drift.set_baseline(name, column, frozen.sample)
+        self._emit_refresh("incremental")
+        self._emit_version_gauge(name, table.statistics_version)
+        return "incremental"
+
+    def maintain(
+        self,
+        tables: "list[Table]",
+        ks_threshold: float = 0.15,
+        seed: "int | np.random.Generator | None" = None,
+    ) -> "dict[str, str]":
+        """Drift- and lag-triggered selective refresh.
+
+        For every analyzed table, consult the KS drift readings of its
+        columns and its statistics-version lag; refresh only the
+        tables that drifted past ``ks_threshold`` or have unabsorbed
+        mutations — the rest keep their statistics untouched.  Returns
+        the mode per table (``"fresh"`` when nothing was needed).
+        Drift-triggered refreshes additionally count on
+        ``catalog.refresh.drift``.
+        """
+        modes: dict[str, str] = {}
+        for table in tables:
+            name = table.name
+            if not self.has_statistics(name):
+                continue
+            drifted = any(
+                (reading := self.drift.reading(name, column)) is not None
+                and reading.ks >= ks_threshold
+                for column in table.column_names
+            )
+            lagging = self._applied.get(name) != table.statistics_version
+            if drifted or lagging:
+                mode = self.refresh(table, seed=seed)
+                if mode == "fresh" and drifted:
+                    # The statistics cover the table's current version,
+                    # yet the observed workload drifted past the KS
+                    # threshold — the build-time sample misrepresents
+                    # the data (unlucky draw, or mutations the delta
+                    # log cannot explain).  Rescan; analyze() also
+                    # re-baselines the drift monitor so one rebuild
+                    # settles the alarm instead of re-firing forever.
+                    mode = self._full_refresh(
+                        table,
+                        seed if seed is not None else self._analyze_seeds.get(name),
+                    )
+                modes[name] = mode
+                if drifted:
+                    self._emit_refresh("drift")
+            else:
+                modes[name] = "fresh"
+        return modes
+
+    def fork(self) -> "Catalog":
+        """Copy-on-refresh clone for atomic snapshot publication.
+
+        The fork shares the (immutable, frozen-after-build) estimator
+        objects and the thread-safe drift/staleness monitors, but
+        deep-copies the live mergeable summaries — so refreshing the
+        fork never mutates state referenced by an already-published
+        serving snapshot, and readers pinned to the old snapshot keep
+        a consistent statistics set.
+        """
+        out = Catalog(self._family, self._sample_size, self._staleness_budget)
+        out._column_stats = dict(self._column_stats)
+        out._joint_stats = dict(self._joint_stats)
+        out._row_counts = dict(self._row_counts)
+        out._version = self._version
+        out._summaries = {key: summary.copy() for key, summary in self._summaries.items()}
+        out._applied = dict(self._applied)
+        out._base_rows = dict(self._base_rows)
+        out._changed_rows = dict(self._changed_rows)
+        out._analyze_seeds = dict(self._analyze_seeds)
+        out._joint_specs = {name: list(spec) for name, spec in self._joint_specs.items()}
+        out.drift = self.drift
+        out.staleness = self.staleness
+        return out
+
+    def _full_refresh(self, table: Table, seed: "int | np.random.Generator | None") -> str:
+        self.analyze(table, joint=self._joint_specs.get(table.name), seed=seed)
+        self._emit_refresh("full")
+        return "full"
+
+    def _emit_refresh(self, mode: str) -> None:
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.inc(f"catalog.refresh.{mode}")
+
+    def _emit_version_gauge(self, table_name: str, version: int) -> None:
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.set_gauge(
+                f"catalog.statistics_version.{table_name}", float(version)
+            )
+
     def invalidate(self, table_name: str) -> None:
         """Drop all statistics for a table (explicit data-change hook).
 
         Removes the catalog's own statistics *and* evicts the table's
         entries from the shared ANALYZE cache, so a subsequent
         ``analyze`` rebuilds from scratch even if the replacement data
-        happens to collide on name and sample parameters.
+        happens to collide on name and sample parameters.  Emits the
+        ``cache.invalidate`` counter (plus the per-cache
+        ``cache.invalidate.statistics`` segment) so eviction traffic
+        is visible next to the hit/miss series.
         """
         # Same reference-swap discipline as analyze(): concurrent
         # readers see the table's statistics all present or all gone.
@@ -217,7 +485,17 @@ class Catalog:
         self._joint_stats = {
             key: value for key, value in self._joint_stats.items() if key[0] != table_name
         }
+        self._summaries = {
+            key: value for key, value in self._summaries.items() if key[0] != table_name
+        }
+        self._applied = {
+            name: version for name, version in self._applied.items() if name != table_name
+        }
         _STATISTICS_CACHE.evict(lambda key: key[0] == table_name)
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.inc("cache.invalidate")
+            telemetry.metrics.inc(f"cache.invalidate.{_STATISTICS_CACHE.name}")
         self._version += 1
         self.staleness.forget(table_name)
 

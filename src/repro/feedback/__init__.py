@@ -11,5 +11,6 @@ size)`` pairs as the workload executes.
 
 from repro.feedback.adaptive import AdaptiveHistogram
 from repro.feedback.kernel_feedback import FeedbackKernelEstimator
+from repro.online.learning import OnlineLearningEstimator
 
-__all__ = ["AdaptiveHistogram", "FeedbackKernelEstimator"]
+__all__ = ["AdaptiveHistogram", "FeedbackKernelEstimator", "OnlineLearningEstimator"]

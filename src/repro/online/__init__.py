@@ -11,6 +11,11 @@ This package implements that pipeline:
   estimator refines a kernel selectivity estimate (bandwidth and all)
   as records stream in — the kernel-meets-online-aggregation study the
   paper announces.
+* :mod:`repro.online.learning` — the online-learning correction layer:
+  :class:`~repro.online.learning.OnlineLearningEstimator` wraps a
+  frozen estimator and learns a residual mass distribution from
+  observed true selectivities, surviving statistics re-freezes via
+  ``rebind`` (see docs/STREAMING.md).
 """
 
 from repro.online.aggregator import (
@@ -18,9 +23,11 @@ from repro.online.aggregator import (
     OnlineAggregator,
     OnlineKernelSelectivity,
 )
+from repro.online.learning import OnlineLearningEstimator
 
 __all__ = [
     "OnlineAggregate",
     "OnlineAggregator",
     "OnlineKernelSelectivity",
+    "OnlineLearningEstimator",
 ]

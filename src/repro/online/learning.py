@@ -1,0 +1,192 @@
+"""Online-learning correction of frozen selectivity estimates.
+
+Per "Selectivity Estimation for Linear Queries via Online Learning"
+(PAPERS.md): instead of waiting for the next ANALYZE, learn from the
+workload itself.  :class:`OnlineLearningEstimator` wraps any frozen
+base estimator and maintains a signed **residual mass distribution**
+over a fixed grid — the learned difference between the base model's
+density and the density the observed true selectivities imply.  Every
+``observe(a, b, true_selectivity)`` call moves a fraction of the
+observed error's mass into the query range and takes it back out of
+the complement, so the total residual stays zero and corrected
+estimates remain a (clipped) probability.
+
+The correction layer is deliberately separate from the base model:
+
+* the base estimator stays frozen-after-build (the repo-wide
+  invariant; see the ``summary-mutability`` analysis rule), while this
+  wrapper owns the mutable learned state — like
+  :class:`repro.feedback.adaptive.AdaptiveHistogram` it is a feedback
+  model, not a member of the estimator hierarchy;
+* when the catalog re-freezes statistics (an incremental refresh
+  swaps in a new base estimator), :meth:`rebind` carries the learned
+  residuals across the swap — the workload knowledge survives summary
+  re-freezes, decayed by ``rebind_decay`` because the new base
+  already absorbed some of what the residuals were correcting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import (
+    InvalidQueryError,
+    InvalidSampleError,
+    validate_query,
+    validate_query_batch,
+)
+from repro.data.domain import Interval
+from repro.telemetry.quality import record_quality
+from repro.telemetry.runtime import get_telemetry
+
+__all__ = ["OnlineLearningEstimator"]
+
+
+class OnlineLearningEstimator:
+    """Feedback-corrected wrapper around a frozen selectivity estimator.
+
+    Parameters
+    ----------
+    base:
+        Any object with ``selectivities(a, b)`` (every estimator in
+        :mod:`repro.estimators` qualifies).
+    domain:
+        Attribute domain the correction grid spans.
+    bins:
+        Correction grid resolution.
+    learning_rate:
+        Fraction of each observed error corrected per observation
+        (multiplied in; 1.0 would trust a single observation fully).
+    rebind_decay:
+        Residual retention factor applied by :meth:`rebind` when a
+        refreshed base estimator is swapped in.
+    """
+
+    def __init__(
+        self,
+        base: object,
+        domain: Interval,
+        *,
+        bins: int = 64,
+        learning_rate: float = 0.3,
+        rebind_decay: float = 0.5,
+    ) -> None:
+        if bins < 2:
+            raise InvalidSampleError(f"correction grid needs >= 2 bins, got {bins}")
+        if not 0.0 < learning_rate <= 1.0:
+            raise InvalidSampleError(
+                f"learning rate must be in (0, 1], got {learning_rate}"
+            )
+        if not 0.0 <= rebind_decay <= 1.0:
+            raise InvalidSampleError(
+                f"rebind decay must be in [0, 1], got {rebind_decay}"
+            )
+        self._base = base
+        self._domain = domain
+        self._edges = np.linspace(domain.low, domain.high, bins + 1)
+        self._widths = np.diff(self._edges)
+        self._residual = np.zeros(bins, dtype=np.float64)
+        self._rate = float(learning_rate)
+        self._decay = float(rebind_decay)
+        self._observations = 0
+        self._rebinds = 0
+
+    @property
+    def base(self) -> object:
+        """The wrapped frozen estimator."""
+        return self._base
+
+    @property
+    def domain(self) -> Interval:
+        """Attribute domain of the correction grid."""
+        return self._domain
+
+    @property
+    def observations(self) -> int:
+        """Feedback observations absorbed so far."""
+        return self._observations
+
+    @property
+    def rebinds(self) -> int:
+        """Base-estimator swaps survived so far."""
+        return self._rebinds
+
+    @property
+    def correction_mass(self) -> float:
+        """Total variation of the learned residual (0 = no correction)."""
+        return 0.5 * float(np.abs(self._residual).sum())
+
+    def _overlap(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Fraction of each grid cell covered by each query (Q x bins)."""
+        lo = np.maximum(a[:, None], self._edges[:-1][None, :])
+        hi = np.minimum(b[:, None], self._edges[1:][None, :])
+        return np.clip(hi - lo, 0.0, None) / self._widths[None, :]
+
+    def selectivity(self, a: float, b: float) -> float:
+        """Corrected selectivity of one range query."""
+        a, b = validate_query(a, b)
+        return float(self.selectivities(np.array([a]), np.array([b]))[0])
+
+    def selectivities(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Corrected selectivities for a query batch."""
+        a, b = validate_query_batch(a, b)
+        base = np.asarray(self._base.selectivities(a, b), dtype=np.float64)
+        correction = self._overlap(a, b) @ self._residual
+        return np.clip(base + correction, 0.0, 1.0)
+
+    def observe(self, a: float, b: float, true_selectivity: float) -> float:
+        """Absorb one observed true selectivity; returns the prior error.
+
+        The signed error between the corrected estimate and the truth
+        is partially (``learning_rate``) converted into residual mass:
+        added inside the query range proportionally to coverage,
+        removed from the complement proportionally to its width, so
+        the residual distribution keeps zero total mass.
+        """
+        a, b = validate_query(a, b)
+        if not 0.0 <= true_selectivity <= 1.0:
+            raise InvalidQueryError(
+                f"true selectivity must be in [0, 1], got {true_selectivity}"
+            )
+        estimate = self.selectivity(a, b)
+        record_quality(estimate, true_selectivity, key=type(self).__name__)
+        error = true_selectivity - estimate
+        coverage = self._overlap(np.array([a]), np.array([b]))[0]
+        covered_len = coverage * self._widths
+        uncovered_len = (1.0 - coverage) * self._widths
+        covered = float(covered_len.sum())
+        uncovered = float(uncovered_len.sum())
+        shift = self._rate * error
+        if covered > 0.0:
+            self._residual += shift * covered_len / covered
+            if uncovered > 0.0:
+                self._residual -= shift * uncovered_len / uncovered
+        self._observations += 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.inc("online.feedback")
+            telemetry.metrics.set_gauge(
+                "online.learning.correction", self.correction_mass
+            )
+        return error
+
+    def rebind(self, base: object) -> None:
+        """Swap in a refreshed base estimator, keeping learned state.
+
+        Called after the catalog re-freezes statistics: the new base
+        already reflects the mutated data, so the residuals are decayed
+        by ``rebind_decay`` rather than kept at full strength (or
+        dropped entirely, which would forget the workload).
+        """
+        self._base = base
+        self._residual *= self._decay
+        self._rebinds += 1
+        telemetry = get_telemetry()
+        if telemetry.enabled:
+            telemetry.metrics.inc("online.rebind")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OnlineLearningEstimator(base={type(self._base).__name__}, "
+            f"observations={self._observations}, rebinds={self._rebinds})"
+        )

@@ -29,6 +29,13 @@ accuracy-vs-cost comparison turned into a graceful-degradation ladder:
   set aside and publishes it through an atomic
   :class:`~repro.serving.snapshot.SnapshotStore` swap; in-flight
   requests finish on the version they pinned.
+* Statistics maintenance is **incremental**: :meth:`refresh_incremental`
+  forks each tier's catalog (:meth:`repro.db.catalog.Catalog.fork`),
+  replays the table's delta log into the forks, and publishes the
+  refreshed tier set as a new snapshot — in-flight estimates never see
+  a half-merged summary, and a fault mid-refresh leaves the previous
+  (consistent) tier serving.  :meth:`maintain` runs the drift-triggered
+  variant across every registered table.
 
 Every failure the caller can see is a subclass of
 :class:`~repro.serving.errors.ServingError`.
@@ -345,6 +352,82 @@ class EstimationService:
             seed=entry.seed if seed is None else seed,
             joint=list(entry.joint) or None,
         )
+
+    def refresh_incremental(self, table_name: str) -> "tuple[int, dict[str, str]]":
+        """Fold one table's delta log into its tiers and publish.
+
+        For each tier, forks the catalog (estimators shared, live
+        summaries deep-copied), replays the table's recorded deltas
+        into the fork (:meth:`repro.db.catalog.Catalog.refresh` decides
+        incremental vs full per its staleness budget), and swaps the
+        refreshed tier set in through the snapshot store — pinned
+        readers keep the old, fully consistent catalogs.  A tier whose
+        refresh fails (injected fault, stale delta log the catalog
+        could not recover from) keeps serving its previous statistics;
+        the failure is recorded in the returned mode map rather than
+        published half-applied.
+
+        Returns ``(snapshot_version, {family: mode})`` where mode is
+        ``"fresh"``, ``"incremental"``, ``"full"`` or
+        ``"failed: <error>"``.
+        """
+        entry = self._entry(self._store.current().payload, table_name)
+        tiers: list[_Tier] = []
+        modes: dict[str, str] = {}
+        for tier in entry.tiers:
+            try:
+                self._faults.check(f"tier.{tier.family}.refresh")
+                fork = tier.catalog.fork()
+                modes[tier.family] = fork.refresh(entry.table, seed=entry.seed)
+            except Exception as exc:  # repro: allow[serving-errors] — a failed tier refresh keeps the old (consistent) statistics serving; the error is reported in the mode map
+                modes[tier.family] = f"failed: {type(exc).__name__}"
+                tiers.append(tier)
+                self._inc(f"serving.degraded.{table_name}")
+                continue
+            tiers.append(_Tier(tier.family, fork, Planner(fork)))
+        payload = dict(self._store.current().payload)
+        payload[table_name] = dataclasses.replace(entry, tiers=tuple(tiers))
+        return self._store.publish(payload).version, modes
+
+    def maintain(self, *, ks_threshold: float = 0.15) -> "dict[str, dict[str, str]]":
+        """Drift-triggered selective refresh across all registered tables.
+
+        Each tier's catalog decides per table whether its statistics
+        drifted (KS distance against the frozen baseline) or lag the
+        table's statistics version; only those tables are refreshed.
+        One atomic snapshot publish covers everything that changed —
+        no publish at all when every table is fresh.  Returns
+        ``{table: {family: mode}}``.
+        """
+        payload = dict(self._store.current().payload)
+        report: dict[str, dict[str, str]] = {}
+        changed = False
+        for table_name, entry in payload.items():
+            tiers: list[_Tier] = []
+            modes: dict[str, str] = {}
+            for tier in entry.tiers:
+                try:
+                    self._faults.check(f"tier.{tier.family}.refresh")
+                    fork = tier.catalog.fork()
+                    mode = fork.maintain(
+                        [entry.table], ks_threshold=ks_threshold
+                    ).get(table_name, "fresh")
+                except Exception as exc:  # repro: allow[serving-errors] — same contract as refresh_incremental: a failed tier keeps its previous statistics
+                    modes[tier.family] = f"failed: {type(exc).__name__}"
+                    tiers.append(tier)
+                    self._inc(f"serving.degraded.{table_name}")
+                    continue
+                modes[tier.family] = mode
+                if mode == "fresh":
+                    tiers.append(tier)
+                else:
+                    tiers.append(_Tier(tier.family, fork, Planner(fork)))
+                    changed = True
+            report[table_name] = modes
+            payload[table_name] = dataclasses.replace(entry, tiers=tuple(tiers))
+        if changed:
+            self._store.publish(payload)
+        return report
 
     @property
     def snapshot_version(self) -> int:

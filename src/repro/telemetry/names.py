@@ -67,6 +67,20 @@ REGISTERED_NAMES: frozenset[str] = frozenset(
         "online.scan.fraction",
         "online.resmooth",
         "online.bandwidth",
+        # -- online-learning corrections (repro.online.learning) ------
+        "online.feedback",
+        "online.rebind",
+        # -- mergeable column summaries (repro.core.summary) ----------
+        "summary.update",
+        "summary.delete",
+        "summary.delete.unaccounted",
+        "summary.merge",
+        "summary.freeze",
+        # -- delta-aware ANALYZE / refresh policy (repro.db.catalog) --
+        "catalog.refresh.full",
+        "catalog.refresh.incremental",
+        "catalog.refresh.fresh",
+        "catalog.refresh.drift",
         # -- accuracy tracking (repro.telemetry.quality) ---------------
         "quality.observations",
         # -- drift / staleness monitors (repro.telemetry.drift) --------
@@ -89,9 +103,17 @@ REGISTERED_PREFIXES: frozenset[str] = frozenset(
         "estimator.bins",
         # per-cell harness timings
         "harness.cell.seconds",
-        # cache verbs + per-cache-name tallies (repro.db.cache)
+        # cache verbs + per-cache-name tallies (repro.db.cache,
+        # Catalog.invalidate)
         "cache.hit",
         "cache.miss",
+        "cache.invalidate",
+        # per-table statistics-version gauges (repro.db.catalog)
+        "catalog.statistics_version",
+        # per-boundary-policy slow-path tallies (repro.core.hybrid)
+        "hybrid.fallback",
+        # per-correction-model gauges (repro.online.learning)
+        "online.learning",
         # q-error / absolute-error series, optionally keyed by
         # estimator class or table (repro.telemetry.quality)
         "quality.qerror",

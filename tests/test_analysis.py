@@ -176,6 +176,92 @@ class Frozen(SelectivityEstimator):
         assert findings == []
 
 
+class TestSummaryMutability:
+    def test_partial_lifecycle_flagged(self):
+        source = """
+class PartialSummary:
+    def update(self, batch):
+        self.count += len(batch)
+
+    def merge(self, other):
+        return self
+"""
+        findings = analyze_source(source, rules=["summary-mutability"])
+        assert rule_names(findings) == ["summary-mutability"]
+        assert "delete" in findings[0].message and "freeze" in findings[0].message
+
+    def test_full_lifecycle_clean(self):
+        source = """
+class GoodSummary:
+    def update(self, batch):
+        self.count += len(batch)
+
+    def delete(self, batch):
+        self.count -= len(batch)
+
+    def merge(self, other):
+        return self
+
+    def freeze(self):
+        return self.count
+"""
+        assert analyze_source(source, rules=["summary-mutability"]) == []
+
+    def test_frozen_summary_must_be_frozen_dataclass(self):
+        source = """
+import dataclasses
+
+class FrozenBadSummary:
+    pass
+
+@dataclasses.dataclass(frozen=True)
+class FrozenGoodSummary:
+    count: int
+"""
+        findings = analyze_source(source, rules=["summary-mutability"])
+        assert [f.message.split(" ")[0] for f in findings] == ["FrozenBadSummary"]
+
+    def test_frozen_summary_mutation_flagged(self):
+        source = """
+import dataclasses
+
+@dataclasses.dataclass(frozen=True)
+class FrozenLeakySummary:
+    count: int
+
+    def bump(self):
+        self.count = self.count + 1
+"""
+        findings = analyze_source(source, rules=["summary-mutability"])
+        assert rule_names(findings) == ["summary-mutability"]
+        assert "bump" in findings[0].message
+
+    def test_estimator_with_mutators_flagged(self):
+        source = """
+class Streaming(SelectivityEstimator):
+    def update(self, batch):
+        return batch
+"""
+        findings = analyze_source(
+            source, rules=["summary-mutability"], context=[ESTIMATOR_CONTEXT]
+        )
+        assert rule_names(findings) == ["summary-mutability"]
+        assert "frozen-after-build" in findings[0].message
+
+    def test_plain_frozen_result_dataclasses_clean(self):
+        # Frozen result records named *Summary (telemetry's ValueSummary,
+        # workload's ErrorSummary) carry no mutators and must not match.
+        source = """
+import dataclasses
+
+@dataclasses.dataclass(frozen=True)
+class ValueSummary:
+    count: int
+    mean: float
+"""
+        assert analyze_source(source, rules=["summary-mutability"]) == []
+
+
 class TestTelemetryNaming:
     def test_unregistered_span_flagged(self):
         findings = analyze_source(

@@ -311,3 +311,98 @@ class TestChaosSnapshots:
         result = service.estimate("points", [RangePredicate("x", 300.0, 500.0)])
         assert result.tier == "equi-depth"
         assert np.isfinite(result.plan.estimated_rows)
+
+
+class TestChaosIncrementalRefresh:
+    """Faults mid statistics-merge never publish a half-refreshed tier.
+
+    The incremental path (docs/STREAMING.md) forks each tier's catalog,
+    replays the table's delta log into the fork, and publishes the tier
+    set atomically.  A fault landing between tier merges must leave the
+    failed tier on its previous (consistent) statistics while the
+    others advance — and the whole run must be seed-reproducible.
+    """
+
+    def _refresh_schedule(self, seed):
+        rng = np.random.default_rng(seed)
+        phase = int(rng.integers(0, 2))
+        period = int(rng.integers(2, 4))
+        return [
+            FaultRule(
+                site="tier.hybrid.refresh",
+                kind="error",
+                after=phase,
+                every=period,
+                times=4,
+                message="chaos: refresh torn mid-merge",
+            ),
+            FaultRule(
+                site="tier.equi-depth.refresh",
+                kind="error",
+                after=phase + 1,
+                every=period + 1,
+                times=3,
+                message="chaos: refresh torn mid-merge",
+            ),
+        ]
+
+    def _drive(self, seed):
+        table = _make_table()
+        faults = FaultInjector(self._refresh_schedule(seed), sleep=lambda _s: None)
+        service = EstimationService(
+            ServiceConfig(sample_size=500),
+            seed=seed,
+            faults=faults,
+            sleep=lambda _s: None,
+        )
+        service.register(table, seed=7)
+        rng = np.random.default_rng(seed + 100)
+        trace = []
+        for round_index in range(6):
+            batch = np.clip(
+                rng.normal(600.0 + 40.0 * round_index, 50.0, 200), 0.0, 1_000.0
+            )
+            table.append({"x": batch, "z": rng.uniform(0.0, 1_000.0, 200)})
+            if round_index % 3 == 2:
+                table.delete_where({"x": (0.0, 100.0 + round_index)})
+            version, modes = service.refresh_incremental("points")
+            result = service.estimate(
+                "points", [RangePredicate("x", 400.0, 800.0)]
+            )
+            assert np.isfinite(result.plan.estimated_rows)
+            assert 0.0 <= result.plan.estimated_rows <= table.row_count
+            trace.append(
+                (
+                    version,
+                    tuple(sorted(modes.items())),
+                    result.tier,
+                    round(result.plan.estimated_rows, 6),
+                )
+            )
+        return trace
+
+    def test_faults_mid_merge_leave_serving_consistent(self):
+        trace = self._drive(CHAOS_SEED)
+        failed = [
+            mode
+            for _, modes, _, _ in trace
+            for _, mode in modes
+            if mode.startswith("failed")
+        ]
+        succeeded = [
+            mode
+            for _, modes, _, _ in trace
+            for _, mode in modes
+            if mode in ("incremental", "full")
+        ]
+        # The schedule actually tore refreshes, and other tiers kept
+        # absorbing deltas in the same rounds.
+        assert failed and succeeded
+        # Every publish was atomic: versions strictly increase and each
+        # round's estimate stayed finite and in range (asserted above).
+        versions = [version for version, _, _, _ in trace]
+        assert versions == sorted(versions)
+        assert len(set(versions)) == len(versions)
+
+    def test_mid_merge_chaos_is_deterministic(self):
+        assert self._drive(CHAOS_SEED) == self._drive(CHAOS_SEED)
